@@ -1,0 +1,49 @@
+//! E2 — algebraic optimisation ablation (§2: the logical→physical
+//! translation "provides an excellent basis for algebraic query
+//! optimization").
+//!
+//! One query written with the selection *after* the ranking; the
+//! optimising engine pushes it down (ranking touches survivors only),
+//! the ablated engine evaluates it late.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirror_bench::{bind_bench_query, text_env};
+use moa::{MoaEngine, OptConfig};
+use std::sync::Arc;
+
+const SLOPPY_QUERY: &str = "select[contains(THIS.source, \"7\")](
+    map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](TraditionalImgLib)))";
+
+fn bench(c: &mut Criterion) {
+    let env = text_env(10_000, 42);
+    bind_bench_query(&env);
+    let optimised = MoaEngine::with_opt(Arc::clone(&env), OptConfig::default());
+    let ablated = MoaEngine::with_opt(Arc::clone(&env), OptConfig::none());
+
+    // both must agree before we measure
+    let a = optimised.query(SLOPPY_QUERY).unwrap();
+    let b = ablated.query(SLOPPY_QUERY).unwrap();
+    assert_eq!(a.len(), b.len(), "optimizer changed the result");
+
+    let mut group = c.benchmark_group("e2_optimizer");
+    group.sample_size(20);
+    group.bench_function("optimized", |bch| {
+        bch.iter(|| optimised.query(SLOPPY_QUERY).unwrap())
+    });
+    group.bench_function("unoptimized", |bch| {
+        bch.iter(|| ablated.query(SLOPPY_QUERY).unwrap())
+    });
+    // individual switches
+    for (label, opt) in [
+        ("pushdown_only", OptConfig { pushdown: true, peephole: false, memoize: false }),
+        ("memoize_only", OptConfig { pushdown: false, peephole: false, memoize: true }),
+        ("peephole_only", OptConfig { pushdown: false, peephole: true, memoize: false }),
+    ] {
+        let eng = MoaEngine::with_opt(Arc::clone(&env), opt);
+        group.bench_function(label, |bch| bch.iter(|| eng.query(SLOPPY_QUERY).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E4 — integration of IR and data retrieval (§3: "the resulting system is
+//! an efficient integration of information and data retrieval … it is
+//! possible to refer to both structure and content of multimedia data in a
+//! single query").
+//!
+//! Compares the *integrated* plan (relational selection composed with
+//! ranking inside one algebra expression, selection pushed into `getBL`'s
+//! domain) against the *two-system* baseline a loosely-coupled
+//! architecture would run: rank everything in the IR system, then filter
+//! the ranked list in the DB system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::{bind_bench_query, engine, text_env};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_integration");
+    group.sample_size(15);
+    for &n in &[5_000usize, 20_000] {
+        let env = text_env(n, 42);
+        bind_bench_query(&env);
+        let eng = engine(&env);
+        // integrated: selection restricts ranking inside one plan
+        let integrated = "map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](
+                            select[THIS.year >= 1998](TraditionalImgLib)))";
+        // two-system baseline: rank all documents, then filter post hoc
+        let rank_all =
+            "map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](TraditionalImgLib))";
+        let filter_only = "select[THIS.year >= 1998](TraditionalImgLib)";
+
+        group.bench_with_input(BenchmarkId::new("integrated", n), &n, |b, _| {
+            b.iter(|| eng.query(integrated).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("two_system", n), &n, |b, _| {
+            b.iter(|| {
+                // system 1: IR ranking of the whole collection
+                let ranked = eng.query(rank_all).unwrap();
+                // system 2: relational filter
+                let survivors = eng.query(filter_only).unwrap();
+                // client-side intersection of the two result sets
+                let keep: std::collections::HashSet<u32> = match survivors {
+                    moa::QueryOutput::Oids(v) => v.into_iter().collect(),
+                    _ => unreachable!("select returns oids"),
+                };
+                let pairs = match ranked {
+                    moa::QueryOutput::Pairs(p) => p,
+                    _ => unreachable!("map returns pairs"),
+                };
+                pairs.into_iter().filter(|(o, _)| keep.contains(o)).count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E5 — the open distributed architecture (Figure 1, §4): ingest
+//! throughput through the daemon pipeline vs the in-process pipeline, and
+//! the cost of adding extraction daemons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::image_corpus;
+use mirror_core::{MirrorConfig, MirrorDbms};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_daemons");
+    group.sample_size(10);
+    for &n in &[16usize, 48] {
+        let corpus = image_corpus(n, 42);
+        group.bench_with_input(BenchmarkId::new("inline_ingest", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = MirrorDbms::new(MirrorConfig::default());
+                db.ingest(&corpus).unwrap();
+                db.n_docs()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("daemon_ingest", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = MirrorDbms::new(MirrorConfig::default());
+                db.ingest_via_daemons(&corpus).unwrap();
+                db.n_docs()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

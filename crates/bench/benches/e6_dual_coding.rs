@@ -1,0 +1,38 @@
+//! E6 — dual-coding retrieval latency (§5.2): text-only vs visual-only vs
+//! dual-channel queries over the ingested demo library. (Effectiveness
+//! numbers are produced by the `report` binary; here we measure cost.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirror_bench::ingested_db;
+use mirror_core::Clustering;
+
+fn bench(c: &mut Criterion) {
+    let db = ingested_db(60, 42, Clustering::AutoClass);
+    let visual = db
+        .thesaurus()
+        .unwrap()
+        .expand(&mirror_core::query::weighted_terms("sunset glow"), 4, 12);
+
+    let mut group = c.benchmark_group("e6_dual_coding");
+    group.sample_size(30);
+    group.bench_function("text_only", |b| {
+        b.iter(|| db.query_text("sunset glow", 10).unwrap())
+    });
+    group.bench_function("visual_only", |b| {
+        b.iter(|| db.query_visual(&visual, 10).unwrap())
+    });
+    group.bench_function("dual", |b| {
+        b.iter(|| db.query_dual("sunset glow", 0.5, 10).unwrap())
+    });
+    group.bench_function("thesaurus_expansion", |b| {
+        b.iter(|| {
+            db.thesaurus()
+                .unwrap()
+                .expand(&mirror_core::query::weighted_terms("sunset glow"), 4, 12)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

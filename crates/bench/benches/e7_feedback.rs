@@ -1,0 +1,31 @@
+//! E7 — relevance feedback cost (§5.2): query expansion from judged
+//! documents and the expanded dual-channel query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirror_bench::ingested_db;
+use mirror_core::feedback::{FeedbackParams, FeedbackQuery};
+use mirror_core::Clustering;
+
+fn bench(c: &mut Criterion) {
+    let db = ingested_db(60, 42, Clustering::AutoClass);
+    let q0 = FeedbackQuery::from_text("forest moss");
+    let initial = db.run_feedback_query(&q0, 0.5, 10).unwrap();
+    let relevant: Vec<u32> = initial.iter().map(|r| r.oid).take(5).collect();
+    let expanded = db.expand_query(&q0, &relevant, FeedbackParams::default()).unwrap();
+
+    let mut group = c.benchmark_group("e7_feedback");
+    group.sample_size(30);
+    group.bench_function("expand_query", |b| {
+        b.iter(|| db.expand_query(&q0, &relevant, FeedbackParams::default()).unwrap())
+    });
+    group.bench_function("initial_round", |b| {
+        b.iter(|| db.run_feedback_query(&q0, 0.5, 10).unwrap())
+    });
+    group.bench_function("expanded_round", |b| {
+        b.iter(|| db.run_feedback_query(&expanded, 0.5, 10).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 — visual vocabulary construction (§5.1): AutoClass-style Bayesian
+//! mixtures with BIC model selection vs the k-means baseline, on the
+//! feature vectors of the ingested corpus.
+
+use cluster::{AutoClass, AutoClassConfig, VocabularyBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use media::{grid_segments, standard_extractors};
+use mirror_bench::image_corpus;
+
+fn feature_builder(n_images: usize) -> VocabularyBuilder {
+    let corpus = image_corpus(n_images, 42);
+    let extractors = standard_extractors();
+    let mut b = VocabularyBuilder::new();
+    for c in &corpus {
+        for seg in grid_segments(&c.image, 3) {
+            for ex in &extractors {
+                b.add(ex.space(), ex.extract(&seg.image).into_values());
+            }
+        }
+    }
+    b
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_clustering");
+    group.sample_size(10);
+    for &n in &[24usize, 48] {
+        let builder = feature_builder(n);
+        group.bench_with_input(BenchmarkId::new("autoclass_bic", n), &n, |b, _| {
+            b.iter(|| {
+                builder
+                    .build_autoclass(&AutoClass::new(AutoClassConfig::default()))
+                    .total_terms()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kmeans_fixed_k", n), &n, |b, _| {
+            b.iter(|| builder.build_kmeans(6, 42).total_terms())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

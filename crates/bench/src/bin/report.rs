@@ -1,0 +1,274 @@
+//! Regenerates every table in EXPERIMENTS.md (deterministic seeds).
+//!
+//! ```sh
+//! cargo run --release -p mirror-bench --bin report
+//! ```
+
+use cluster::{AutoClass, AutoClassConfig, VocabularyBuilder};
+use media::{grid_segments, standard_extractors};
+use mirror_bench::*;
+use mirror_core::eval::{average_precision, mean, precision_at_k};
+use mirror_core::feedback::{FeedbackParams, FeedbackQuery};
+use mirror_core::{Clustering, MirrorConfig, MirrorDbms};
+use moa::naive::NaiveEngine;
+use moa::{MoaEngine, OptConfig};
+use std::sync::Arc;
+
+fn main() {
+    println!("# Mirror MMDBMS — experiment report\n");
+    println!("(regenerate with `cargo run --release -p mirror-bench --bin report`)\n");
+    e1();
+    e2();
+    e4();
+    e5();
+    e6();
+    e7();
+    e8();
+    println!("\nreport complete.");
+}
+
+/// E1: flattened set-at-a-time vs object-at-a-time scaling.
+fn e1() {
+    println!("## E1 — set-at-a-time vs object-at-a-time\n");
+    println!("| docs | flattened (ms) | object-at-a-time (ms) | speedup |");
+    println!("|-----:|---------------:|----------------------:|--------:|");
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let env = text_env(n, 42);
+        bind_bench_query(&env);
+        let eng = engine(&env);
+        let naive = NaiveEngine::new(&env);
+        let t_flat = median_time_ms(5, || {
+            eng.query(RANKING_QUERY).unwrap();
+        });
+        let t_naive = median_time_ms(3, || {
+            naive.query(RANKING_QUERY).unwrap();
+        });
+        println!(
+            "| {n} | {t_flat:.2} | {t_naive:.2} | {:.1}× |",
+            t_naive / t_flat.max(1e-6)
+        );
+    }
+    println!();
+}
+
+/// E2: optimizer ablation.
+fn e2() {
+    println!("## E2 — optimizer ablation (10k docs, select-after-rank query)\n");
+    let env = text_env(10_000, 42);
+    bind_bench_query(&env);
+    let query = "select[contains(THIS.source, \"7\")](
+        map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](TraditionalImgLib)))";
+    println!("| configuration | time (ms) | rows produced | ops |");
+    println!("|---------------|----------:|--------------:|----:|");
+    for (label, opt) in [
+        ("all optimisations", OptConfig::default()),
+        ("none", OptConfig::none()),
+        ("pushdown only", OptConfig { pushdown: true, peephole: false, memoize: false }),
+        ("memoize only", OptConfig { pushdown: false, peephole: false, memoize: true }),
+    ] {
+        let eng = MoaEngine::with_opt(Arc::clone(&env), opt);
+        let expr = moa::parse_expr(query).unwrap();
+        let (_, stats) = eng.query_with_stats(&expr).unwrap();
+        let t = median_time_ms(5, || {
+            eng.query(query).unwrap();
+        });
+        println!(
+            "| {label} | {t:.2} | {} | {} |",
+            stats.rows_produced, stats.ops_evaluated
+        );
+    }
+    println!();
+}
+
+/// E4: integrated vs two-system retrieval.
+fn e4() {
+    println!("## E4 — IR/DB integration (rank ∘ select, 20k docs)\n");
+    let env = text_env(20_000, 42);
+    bind_bench_query(&env);
+    let eng = engine(&env);
+    let integrated = "map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](
+                        select[THIS.year >= 1998](TraditionalImgLib)))";
+    let rank_all =
+        "map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](TraditionalImgLib))";
+    let filter_only = "select[THIS.year >= 1998](TraditionalImgLib)";
+    let t_int = median_time_ms(5, || {
+        eng.query(integrated).unwrap();
+    });
+    let t_two = median_time_ms(5, || {
+        let ranked = eng.query(rank_all).unwrap();
+        let survivors = eng.query(filter_only).unwrap();
+        let keep: std::collections::HashSet<u32> = match survivors {
+            moa::QueryOutput::Oids(v) => v.into_iter().collect(),
+            _ => unreachable!(),
+        };
+        if let moa::QueryOutput::Pairs(p) = ranked {
+            let _ = p.into_iter().filter(|(o, _)| keep.contains(o)).count();
+        }
+    });
+    println!("| strategy | time (ms) |");
+    println!("|----------|----------:|");
+    println!("| integrated (single algebra plan) | {t_int:.2} |");
+    println!("| two-system (rank all, filter post hoc) | {t_two:.2} |");
+    println!("| advantage | {:.1}× |", t_two / t_int.max(1e-6));
+    println!();
+}
+
+/// E5: daemon-architecture ingest throughput.
+fn e5() {
+    println!("## E5 — distributed architecture (Figure 1)\n");
+    let corpus = image_corpus(48, 42);
+    let t_inline = median_time_ms(3, || {
+        let mut db = MirrorDbms::new(MirrorConfig::default());
+        db.ingest(&corpus).unwrap();
+    });
+    let t_daemon = median_time_ms(3, || {
+        let mut db = MirrorDbms::new(MirrorConfig::default());
+        db.ingest_via_daemons(&corpus).unwrap();
+    });
+    println!("| pipeline | 48-image ingest (ms) | images/s |");
+    println!("|----------|---------------------:|---------:|");
+    println!("| in-process | {t_inline:.0} | {:.1} |", 48.0 * 1e3 / t_inline);
+    println!(
+        "| daemons (segmenter + 6 feature daemons, threaded) | {t_daemon:.0} | {:.1} |",
+        48.0 * 1e3 / t_daemon
+    );
+    println!();
+}
+
+/// E6: dual-coding effectiveness.
+fn e6() {
+    println!("## E6 — dual coding effectiveness (120 images, 30% un-annotated)\n");
+    let mut db = MirrorDbms::new(MirrorConfig::default());
+    let corpus = image_corpus(120, 42);
+    db.ingest(&corpus).unwrap();
+    let queries: [(&str, usize); 4] = [
+        ("sunset glow evening", 0),
+        ("forest tree moss", 1),
+        ("ocean wave surf", 2),
+        ("snow winter mountain", 5),
+    ];
+    println!("| query | P@10 text | P@10 dual | AP text | AP dual | un-annotated found (text/dual) |");
+    println!("|-------|----------:|----------:|--------:|--------:|-------------------------------:|");
+    let mut ap_t_all = Vec::new();
+    let mut ap_d_all = Vec::new();
+    for (q, theme) in queries {
+        let rel = |o: u32| db.docs()[o as usize].theme == theme;
+        let n_rel = db.docs().iter().filter(|d| d.theme == theme).count();
+        let text: Vec<u32> =
+            db.query_text(q, 120).unwrap().iter().map(|r| r.oid).collect();
+        let dual: Vec<u32> =
+            db.query_dual(q, 0.5, 120).unwrap().iter().map(|r| r.oid).collect();
+        let un = |oids: &[u32]| {
+            oids.iter()
+                .filter(|&&o| rel(o) && !db.docs()[o as usize].annotated)
+                .count()
+        };
+        let (pt, pd) = (precision_at_k(&text, rel, 10), precision_at_k(&dual, rel, 10));
+        let (at, ad) =
+            (average_precision(&text, rel, n_rel), average_precision(&dual, rel, n_rel));
+        ap_t_all.push(at);
+        ap_d_all.push(ad);
+        println!(
+            "| {q} | {pt:.2} | {pd:.2} | {at:.3} | {ad:.3} | {}/{} |",
+            un(&text),
+            un(&dual)
+        );
+    }
+    println!(
+        "| **mean** | | | **{:.3}** | **{:.3}** | |",
+        mean(&ap_t_all),
+        mean(&ap_d_all)
+    );
+    println!();
+}
+
+/// E7: relevance feedback across iterations.
+fn e7() {
+    println!("## E7 — relevance feedback (target theme: forest)\n");
+    let mut db = MirrorDbms::new(MirrorConfig::default());
+    let corpus = image_corpus(120, 43);
+    db.ingest(&corpus).unwrap();
+    let rel = |o: u32| db.docs()[o as usize].theme == 1;
+    let n_rel = db.docs().iter().filter(|d| d.theme == 1).count();
+    let mut query = FeedbackQuery::from_text("forest");
+    let mut results = db.run_feedback_query(&query, 0.5, 25).unwrap();
+    println!("| round | P@10 | Recall@25 | un-annotated relevant in top-25 | text terms | visual terms |");
+    println!("|------:|-----:|----------:|--------------------------------:|-----------:|-------------:|");
+    for round in 0..4 {
+        let oids: Vec<u32> = results.iter().map(|r| r.oid).collect();
+        let unann = oids
+            .iter()
+            .take(25)
+            .filter(|&&o| rel(o) && !db.docs()[o as usize].annotated)
+            .count();
+        println!(
+            "| {round} | {:.2} | {:.2} | {} | {} | {} |",
+            precision_at_k(&oids, rel, 10),
+            mirror_core::eval::recall_at_k(&oids, rel, 25, n_rel),
+            unann,
+            query.text.len(),
+            query.visual.len()
+        );
+        let relevant: Vec<u32> = oids.iter().copied().filter(|&o| rel(o)).collect();
+        if relevant.is_empty() {
+            break;
+        }
+        let (r, q) = db
+            .query_with_feedback(&query, &relevant, FeedbackParams::default(), 0.5, 25)
+            .unwrap();
+        results = r;
+        query = q;
+    }
+    println!();
+}
+
+/// E8: AutoClass vs k-means vocabularies and their retrieval effect.
+fn e8() {
+    println!("## E8 — clustering ablation (vocabularies and retrieval)\n");
+    let corpus = image_corpus(96, 42);
+    // vocabulary shapes
+    let extractors = standard_extractors();
+    let mut builder = VocabularyBuilder::new();
+    for c in &corpus {
+        for seg in grid_segments(&c.image, 3) {
+            for ex in &extractors {
+                builder.add(ex.space(), ex.extract(&seg.image).into_values());
+            }
+        }
+    }
+    let ac = builder.build_autoclass(&AutoClass::new(AutoClassConfig::default()));
+    let km = builder.build_kmeans(6, 42);
+    println!("| feature space | AutoClass classes (BIC) | k-means classes |");
+    println!("|---------------|------------------------:|----------------:|");
+    for space in ac.spaces() {
+        println!(
+            "| {space} | {} | {} |",
+            ac.model(&space).unwrap().n_clusters(),
+            km.model(&space).map_or(0, |m| m.n_clusters())
+        );
+    }
+    // retrieval effect
+    println!("\n| clustering | mean AP over 3 theme queries |");
+    println!("|------------|-----------------------------:|");
+    for (label, clustering) in
+        [("AutoClass", Clustering::AutoClass), ("k-means (k=6)", Clustering::KMeans(6))]
+    {
+        let mut db = MirrorDbms::new(MirrorConfig { clustering, ..Default::default() });
+        db.ingest(&corpus).unwrap();
+        let mut aps = Vec::new();
+        for (q, theme) in
+            [("sunset glow", 0usize), ("forest tree", 1), ("ocean wave", 2)]
+        {
+            let ranked: Vec<u32> =
+                db.query_dual(q, 0.5, 96).unwrap().iter().map(|r| r.oid).collect();
+            let n_rel = db.docs().iter().filter(|d| d.theme == theme).count();
+            aps.push(average_precision(
+                &ranked,
+                |o| db.docs()[o as usize].theme == theme,
+                n_rel,
+            ));
+        }
+        println!("| {label} | {:.3} |", mean(&aps));
+    }
+    println!();
+}

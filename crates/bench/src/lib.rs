@@ -1,0 +1,136 @@
+//! # mirror-bench — workloads and measurement helpers
+//!
+//! The demo paper contains no numeric tables, so EXPERIMENTS.md defines
+//! the quantitative claims to validate (E1–E8); this crate provides the
+//! shared workload generators used by both the criterion benches
+//! (`benches/e*.rs`) and the `report` binary that regenerates the
+//! EXPERIMENTS.md tables.
+
+use media::{CrawledImage, RobotConfig, WebRobot};
+use mirror_core::{Clustering, MirrorConfig, MirrorDbms};
+use moa::{Env, MoaEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Vocabulary pool for synthetic annotations (theme words + filler).
+const WORD_POOL: &[&str] = &[
+    "sunset", "orange", "horizon", "glow", "evening", "dusk", "forest", "tree", "green",
+    "leaf", "moss", "trail", "ocean", "wave", "blue", "water", "surf", "tide", "desert",
+    "sand", "dune", "arid", "city", "building", "street", "skyline", "tower", "snow",
+    "white", "winter", "ice", "mountain", "peak", "photo", "picture", "view", "image",
+    "scene", "light", "shadow", "cloud", "storm", "river", "valley", "meadow", "stone",
+];
+
+/// Build a text-only environment (`TraditionalImgLib` at scale): `n`
+/// annotated documents with 5–12 word annotations drawn from the pool.
+/// Returns the environment (with raw rows kept for the naive baseline).
+pub fn text_env(n: usize, seed: u64) -> Arc<Env> {
+    let mut env = Env::new();
+    env.keep_raw = true;
+    ir::register_contrep(&env);
+    let (name, ty) = moa::parse_define(
+        "define TraditionalImgLib as
+           SET< TUPLE< Atomic<URL>: source, Atomic<int>: year,
+                       CONTREP<Text>: annotation >>;",
+    )
+    .expect("schema parses");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<moa::MoaVal> = (0..n)
+        .map(|i| {
+            let len = rng.gen_range(5..=12);
+            let words: Vec<&str> =
+                (0..len).map(|_| WORD_POOL[rng.gen_range(0..WORD_POOL.len())]).collect();
+            moa::MoaVal::Tuple(vec![
+                moa::MoaVal::Str(format!("http://lib/{i}")),
+                moa::MoaVal::Int(1990 + (i % 10) as i64),
+                moa::MoaVal::Str(words.join(" ")),
+            ])
+        })
+        .collect();
+    env.create_collection(name, ty, rows).expect("collection loads");
+    Arc::new(env)
+}
+
+/// The paper's ranking query over the scaled library.
+pub const RANKING_QUERY: &str =
+    "map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](TraditionalImgLib))";
+
+/// Bind the standard benchmark query terms.
+pub fn bind_bench_query(env: &Env) {
+    env.bind_query(
+        "benchquery",
+        vec![("sunset".into(), 1.0), ("ocean".into(), 1.0), ("glow".into(), 1.0)],
+    );
+}
+
+/// An engine over a text environment with default optimisation.
+pub fn engine(env: &Arc<Env>) -> MoaEngine {
+    MoaEngine::new(Arc::clone(env))
+}
+
+/// Crawl a themed image corpus for the multimedia experiments.
+pub fn image_corpus(n: usize, seed: u64) -> Vec<CrawledImage> {
+    WebRobot::new(RobotConfig {
+        n_images: n,
+        image_size: 24,
+        unannotated_fraction: 0.3,
+        seed,
+    })
+    .crawl()
+}
+
+/// A fully ingested Mirror instance over an image corpus.
+pub fn ingested_db(n: usize, seed: u64, clustering: Clustering) -> MirrorDbms {
+    let mut db = MirrorDbms::new(MirrorConfig { clustering, ..Default::default() });
+    db.ingest(&image_corpus(n, seed)).expect("ingest succeeds");
+    db
+}
+
+/// Wall-clock one closure in milliseconds.
+pub fn time_ms<F: FnMut()>(mut f: F) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median of several timed runs, in milliseconds.
+pub fn median_time_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs).map(|_| time_ms(&mut f)).collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_env_scales_and_queries() {
+        let env = text_env(100, 1);
+        bind_bench_query(&env);
+        let out = engine(&env).query(RANKING_QUERY).unwrap();
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn text_env_is_deterministic() {
+        let a = text_env(50, 9);
+        let b = text_env(50, 9);
+        let qa = engine(&a);
+        let qb = engine(&b);
+        bind_bench_query(&a);
+        bind_bench_query(&b);
+        let ra = qa.query(RANKING_QUERY).unwrap();
+        let rb = qb.query(RANKING_QUERY).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn median_time_is_positive() {
+        let t = median_time_ms(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The AutoClass substitute: EM-fitted diagonal-Gaussian mixtures with
+//! Bayesian model selection over the number of classes.
+//!
+//! AutoClass performs unsupervised Bayesian classification: it fits finite
+//! mixture models and compares the marginal likelihood of models with
+//! different class counts. We approximate the marginal likelihood with the
+//! Bayesian Information Criterion (BIC) — the standard large-sample
+//! approximation — which preserves the behaviour the Mirror pipeline
+//! depends on: the number of "visual terms" per feature space is chosen by
+//! the data, not by the operator.
+
+use crate::{check_dims, kmeans::kmeans};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for an AutoClass search.
+#[derive(Debug, Clone)]
+pub struct AutoClassConfig {
+    /// Candidate class counts to score.
+    pub k_range: std::ops::RangeInclusive<usize>,
+    /// EM iterations per candidate.
+    pub em_iters: usize,
+    /// Variance floor (keeps EM numerically sane on degenerate data).
+    pub var_floor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AutoClassConfig {
+    fn default() -> Self {
+        AutoClassConfig { k_range: 2..=8, em_iters: 30, var_floor: 1e-4, seed: 17 }
+    }
+}
+
+/// A fitted diagonal-Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct MixtureModel {
+    /// Mixing weights, one per class.
+    pub weights: Vec<f64>,
+    /// Per-class means.
+    pub means: Vec<Vec<f64>>,
+    /// Per-class diagonal variances.
+    pub variances: Vec<Vec<f64>>,
+    /// Log-likelihood of the training data under the model.
+    pub log_likelihood: f64,
+    /// BIC score (higher is better here: `2·logL − params·ln n`).
+    pub bic: f64,
+}
+
+impl MixtureModel {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Log density of `x` under class `c`.
+    fn class_log_density(&self, c: usize, x: &[f64]) -> f64 {
+        let mut log_p = 0.0;
+        for (i, &xi) in x.iter().enumerate() {
+            let var = self.variances[c][i];
+            let diff = xi - self.means[c][i];
+            log_p += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        log_p
+    }
+
+    /// Posterior class probabilities for a point (soft assignment —
+    /// AutoClass's defining output).
+    pub fn posterior(&self, x: &[f64]) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.n_classes())
+            .map(|c| self.weights[c].max(1e-300).ln() + self.class_log_density(c, x))
+            .collect();
+        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logs.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Most probable class for a point.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        let post = self.posterior(x);
+        post.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The AutoClass-style clusterer.
+#[derive(Debug, Clone, Default)]
+pub struct AutoClass {
+    /// Search configuration.
+    pub config: AutoClassConfig,
+}
+
+impl AutoClass {
+    /// Create with a configuration.
+    pub fn new(config: AutoClassConfig) -> Self {
+        AutoClass { config }
+    }
+
+    /// Fit mixtures for every candidate class count and return the model
+    /// with the best BIC. `None` on degenerate input.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Option<MixtureModel> {
+        let d = check_dims(points)?;
+        let n = points.len();
+        let mut best: Option<MixtureModel> = None;
+        for k in self.config.k_range.clone() {
+            if k > n {
+                break;
+            }
+            let model = self.fit_k(points, d, k)?;
+            let better = match &best {
+                None => true,
+                Some(b) => model.bic > b.bic,
+            };
+            if better {
+                best = Some(model);
+            }
+        }
+        best
+    }
+
+    /// Fit a mixture with exactly `k` classes (EM initialised from
+    /// k-means).
+    pub fn fit_k(&self, points: &[Vec<f64>], d: usize, k: usize) -> Option<MixtureModel> {
+        let n = points.len();
+        let init = kmeans(points, k, self.config.seed, 20)?;
+        let k = init.centroids.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5eed);
+
+        let mut weights = vec![1.0 / k as f64; k];
+        let mut means = init.centroids.clone();
+        // initial variances from the k-means partition
+        let mut variances = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&init.assignment) {
+            counts[a] += 1;
+            for i in 0..d {
+                let diff = p[i] - means[a][i];
+                variances[a][i] += diff * diff;
+            }
+        }
+        for c in 0..k {
+            for v in &mut variances[c] {
+                *v = (*v / counts[c].max(1) as f64).max(self.config.var_floor);
+            }
+        }
+
+        let mut log_likelihood = f64::NEG_INFINITY;
+        let mut resp = vec![vec![0f64; k]; n];
+        for _ in 0..self.config.em_iters {
+            // E step
+            let model = MixtureModel {
+                weights: weights.clone(),
+                means: means.clone(),
+                variances: variances.clone(),
+                log_likelihood: 0.0,
+                bic: 0.0,
+            };
+            let mut ll = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let logs: Vec<f64> = (0..k)
+                    .map(|c| weights[c].max(1e-300).ln() + model.class_log_density(c, p))
+                    .collect();
+                let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let sum_exp: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+                ll += max + sum_exp.ln();
+                for c in 0..k {
+                    resp[i][c] = (logs[c] - max).exp() / sum_exp;
+                }
+            }
+            // M step
+            for c in 0..k {
+                let nc: f64 = resp.iter().map(|r| r[c]).sum();
+                if nc < 1e-9 {
+                    // dead class: re-seed on a random point
+                    let p = &points[rng.gen_range(0..n)];
+                    means[c] = p.clone();
+                    variances[c] = vec![1.0; d];
+                    weights[c] = 1.0 / n as f64;
+                    continue;
+                }
+                weights[c] = nc / n as f64;
+                for i in 0..d {
+                    let mu: f64 =
+                        points.iter().zip(&resp).map(|(p, r)| r[c] * p[i]).sum::<f64>() / nc;
+                    means[c][i] = mu;
+                }
+                for i in 0..d {
+                    let var: f64 = points
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| {
+                            let diff = p[i] - means[c][i];
+                            r[c] * diff * diff
+                        })
+                        .sum::<f64>()
+                        / nc;
+                    variances[c][i] = var.max(self.config.var_floor);
+                }
+            }
+            // convergence check
+            if (ll - log_likelihood).abs() < 1e-6 {
+                log_likelihood = ll;
+                break;
+            }
+            log_likelihood = ll;
+        }
+
+        // BIC = 2·logL − params·ln n, params = k−1 weights + 2·k·d
+        let params = (k - 1) as f64 + (2 * k * d) as f64;
+        let bic = 2.0 * log_likelihood - params * (n as f64).ln();
+        Some(MixtureModel { weights, means, variances, log_likelihood, bic })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_data::three_blobs;
+
+    #[test]
+    fn model_selection_finds_three_blobs() {
+        let (pts, _) = three_blobs(40, 21);
+        let model = AutoClass::default().fit(&pts).unwrap();
+        assert_eq!(model.n_classes(), 3, "BIC chose {} classes", model.n_classes());
+    }
+
+    #[test]
+    fn posteriors_sum_to_one_and_are_confident_at_centres() {
+        let (pts, _) = three_blobs(40, 22);
+        let model = AutoClass::default().fit(&pts).unwrap();
+        let post = model.posterior(&[0.0, 0.0]);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(post.iter().cloned().fold(0.0, f64::max) > 0.95);
+    }
+
+    #[test]
+    fn classify_groups_blob_members_together() {
+        let (pts, labels) = three_blobs(30, 23);
+        let model = AutoClass::default().fit(&pts).unwrap();
+        for ci in 0..3 {
+            let assigned: std::collections::HashSet<usize> = pts
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == ci)
+                .map(|(p, _)| model.classify(p))
+                .collect();
+            assert_eq!(assigned.len(), 1, "true blob {ci} split across {assigned:?}");
+        }
+    }
+
+    #[test]
+    fn likelihood_increases_with_em() {
+        let (pts, _) = three_blobs(30, 24);
+        let ac = AutoClass::new(AutoClassConfig { em_iters: 1, ..Default::default() });
+        let one = ac.fit_k(&pts, 2, 3).unwrap();
+        let ac2 = AutoClass::new(AutoClassConfig { em_iters: 25, ..Default::default() });
+        let many = ac2.fit_k(&pts, 2, 3).unwrap();
+        assert!(many.log_likelihood >= one.log_likelihood - 1e-6);
+    }
+
+    #[test]
+    fn bic_penalises_overfitting() {
+        let (pts, _) = three_blobs(40, 25);
+        let ac = AutoClass::default();
+        let k3 = ac.fit_k(&pts, 2, 3).unwrap();
+        let k8 = ac.fit_k(&pts, 2, 8).unwrap();
+        assert!(k3.bic > k8.bic, "BIC {} vs {}", k3.bic, k8.bic);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ac = AutoClass::default();
+        assert!(ac.fit(&[]).is_none());
+        // fewer points than minimum k: still returns something when k≤n
+        let pts = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let m = ac.fit(&pts);
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn variance_floor_prevents_collapse() {
+        // identical points would otherwise drive variance to zero
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let ac = AutoClass::default();
+        let m = ac.fit_k(&pts, 2, 2).unwrap();
+        for c in 0..m.n_classes() {
+            for &v in &m.variances[c] {
+                assert!(v >= ac.config.var_floor);
+            }
+        }
+        assert!(m.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, _) = three_blobs(25, 26);
+        let a = AutoClass::default().fit(&pts).unwrap();
+        let b = AutoClass::default().fit(&pts).unwrap();
+        assert_eq!(a.n_classes(), b.n_classes());
+        assert_eq!(a.means, b.means);
+    }
+}

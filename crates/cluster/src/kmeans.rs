@@ -1,0 +1,190 @@
+//! k-means with k-means++ seeding — the hard-clustering baseline.
+
+use crate::check_dims;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-point cluster assignment.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Assign a new point to its nearest centroid.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+}
+
+/// Run k-means. Deterministic given `seed`. Returns `None` for degenerate
+/// input (no points, inconsistent dims, or `k == 0`).
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Option<KMeansResult> {
+    let d = check_dims(points)?;
+    if k == 0 {
+        return None;
+    }
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| nearest(&centroids, p).1.powi(2))
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // all points identical to chosen centroids; duplicate one
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if target <= w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // assign
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (c, _) = nearest(&centroids, p);
+            if assignment[i] != c {
+                assignment[i] = c;
+                changed = true;
+            }
+        }
+        // update
+        let mut sums = vec![vec![0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+            // empty clusters keep their old centroid
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    Some(KMeansResult { centroids, assignment, inertia, iterations })
+}
+
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    (best.0, best.1.sqrt())
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_data::three_blobs;
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (pts, labels) = three_blobs(30, 3);
+        let r = kmeans(&pts, 3, 0, 50).unwrap();
+        // points with the same true label must share a cluster
+        for ci in 0..3 {
+            let assigned: std::collections::HashSet<usize> = pts
+                .iter()
+                .zip(&labels)
+                .zip(&r.assignment)
+                .filter(|((_, &l), _)| l == ci)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(assigned.len(), 1, "true cluster {ci} split: {assigned:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, _) = three_blobs(20, 5);
+        let a = kmeans(&pts, 3, 9, 50).unwrap();
+        let b = kmeans(&pts, 3, 9, 50).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn predict_matches_assignment() {
+        let (pts, _) = three_blobs(20, 5);
+        let r = kmeans(&pts, 3, 1, 50).unwrap();
+        for (p, &a) in pts.iter().zip(&r.assignment) {
+            assert_eq!(r.predict(p), a);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let pts = vec![vec![0.0], vec![10.0]];
+        let r = kmeans(&pts, 10, 0, 10).unwrap();
+        assert_eq!(r.centroids.len(), 2);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(kmeans(&[], 3, 0, 10).is_none());
+        assert!(kmeans(&[vec![1.0]], 0, 0, 10).is_none());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 2, 0, 10).is_none());
+    }
+
+    #[test]
+    fn identical_points_yield_zero_inertia() {
+        let pts = vec![vec![2.0, 2.0]; 8];
+        let r = kmeans(&pts, 3, 4, 20).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let (pts, _) = three_blobs(20, 11);
+        let i2 = kmeans(&pts, 2, 0, 100).unwrap().inertia;
+        let i3 = kmeans(&pts, 3, 0, 100).unwrap().inertia;
+        assert!(i3 <= i2 + 1e-9, "{i3} > {i2}");
+    }
+}

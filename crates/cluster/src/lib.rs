@@ -1,0 +1,74 @@
+//! # cluster — AutoClass-style Bayesian clustering
+//!
+//! The Mirror demo clustered every feature space with AutoClass (Cheeseman
+//! & Stutz's Bayesian classification system) and used the clusters as
+//! "visual terms" — the basic blocks of *meaning* for multimedia IR.
+//! AutoClass itself is unavailable; its defining behaviours are
+//!
+//! 1. soft assignment under a finite mixture model, and
+//! 2. automatic selection of the number of classes by Bayesian model
+//!    comparison.
+//!
+//! [`autoclass`] reproduces both with an EM-fitted diagonal-Gaussian
+//! mixture and BIC-based model selection over a range of class counts.
+//! [`kmeans()`] provides the hard-assignment baseline for the clustering
+//! ablation (E8), and [`vocab`] turns fitted models into the
+//! `space_cluster` visual-term strings (`gabor_21`) that flow into
+//! `CONTREP<Image>`.
+
+pub mod autoclass;
+pub mod kmeans;
+pub mod vocab;
+
+pub use autoclass::{AutoClass, AutoClassConfig, MixtureModel};
+pub use kmeans::{kmeans, KMeansResult};
+pub use vocab::{VisualVocabulary, VocabularyBuilder};
+
+/// A dataset: rows of equal-dimensional points.
+pub type Points = Vec<Vec<f64>>;
+
+/// Validate that all points share one dimensionality; returns it.
+pub(crate) fn check_dims(points: &[Vec<f64>]) -> Option<usize> {
+    let d = points.first()?.len();
+    if d == 0 || points.iter().any(|p| p.len() != d) {
+        return None;
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+pub(crate) mod test_data {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three well-separated Gaussian blobs in 2D.
+    pub fn three_blobs(n_per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.0, 0.0], [8.0, 8.0], [0.0, 9.0]];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                pts.push(vec![
+                    c[0] + rng.gen_range(-0.8..0.8),
+                    c[1] + rng.gen_range(-0.8..0.8),
+                ]);
+                labels.push(ci);
+            }
+        }
+        (pts, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_dims_behaviour() {
+        assert_eq!(check_dims(&[vec![1.0, 2.0], vec![3.0, 4.0]]), Some(2));
+        assert_eq!(check_dims(&[]), None);
+        assert_eq!(check_dims(&[vec![]]), None);
+        assert_eq!(check_dims(&[vec![1.0], vec![1.0, 2.0]]), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The ingest pipeline of Section 5.
+//!
+//! ```text
+//! crawl → segment → extract (rgb, hsv, gabor, glcm, tamura, edge)
+//!       → cluster each space (AutoClass substitute) → visual terms
+//!       → ImageLibraryInternal(source, CONTREP<Text>, CONTREP<Image>)
+//!       → association thesaurus
+//! ```
+//!
+//! Two routes produce identical state: [`MirrorDbms::ingest`] runs the
+//! stages in-process (deterministic, fast), and
+//! [`MirrorDbms::ingest_via_daemons`] routes segmentation and feature
+//! extraction through the open distributed architecture — one daemon per
+//! extractor — proving the metadata database is just another party on the
+//! bus.
+
+use crate::{Clustering, DocMeta, MirrorDbms, INTERNAL};
+use cluster::{AutoClass, AutoClassConfig, VisualVocabulary, VocabularyBuilder};
+use daemon::{
+    DaemonRuntime, FeatureDaemon, Message, SegmenterDaemon, SegmenterKind, TOPIC_CRAWLED,
+    TOPIC_FEATURES,
+};
+use ir::text::tokenize_stemmed;
+use media::{grid_segments, standard_extractors, CrawledImage};
+use moa::{parse_define, MoaVal};
+use thesaurus::ThesaurusBuilder;
+
+/// One extracted feature: (document index, segment index, space, vector).
+type Extraction = (usize, usize, String, Vec<f64>);
+
+impl MirrorDbms {
+    /// Ingest a crawled corpus in-process.
+    pub fn ingest(&mut self, corpus: &[CrawledImage]) -> moa::Result<()> {
+        let extractions = self.extract_inline(corpus);
+        self.finish_ingest(corpus, extractions)
+    }
+
+    /// Ingest a crawled corpus through the daemon architecture: a
+    /// segmentation daemon plus one feature daemon per extractor run on
+    /// their own threads; the facade collects `features.extracted`
+    /// messages like the metadata database of Figure 1.
+    pub fn ingest_via_daemons(&mut self, corpus: &[CrawledImage]) -> moa::Result<()> {
+        let rt = DaemonRuntime::new();
+        let features_rx = rt.bus().subscribe(TOPIC_FEATURES);
+        rt.spawn(Box::new(SegmenterDaemon::new(SegmenterKind::Grid(self.config().grid))));
+        for ex in standard_extractors() {
+            rt.spawn(Box::new(FeatureDaemon::new(ex)));
+        }
+        // url → document index for reassembling asynchronous results
+        let index_of: std::collections::HashMap<&str, usize> =
+            corpus.iter().enumerate().map(|(i, c)| (c.url.as_str(), i)).collect();
+        for c in corpus {
+            rt.bus().publish(
+                TOPIC_CRAWLED,
+                "web-robot",
+                Message::ImageCrawled {
+                    url: c.url.clone(),
+                    blob: c.image.to_blob(),
+                    annotation: c.annotation.clone(),
+                },
+            );
+        }
+        rt.wait_quiescent(std::time::Duration::from_millis(20), 5);
+        rt.shutdown();
+        let mut extractions: Vec<Extraction> = Vec::new();
+        while let Ok(env) = features_rx.try_recv() {
+            if let Message::FeaturesExtracted { url, segment, space, vector } = env.msg {
+                if let Some(&doc) = index_of.get(url.as_str()) {
+                    extractions.push((doc, segment, space, vector));
+                }
+            }
+        }
+        // asynchronous arrival order is nondeterministic; sort for
+        // reproducible clustering
+        extractions.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+        self.finish_ingest(corpus, extractions)
+    }
+
+    /// Inline segmentation + extraction (no daemons).
+    fn extract_inline(&self, corpus: &[CrawledImage]) -> Vec<Extraction> {
+        let extractors = standard_extractors();
+        let mut out = Vec::new();
+        for (doc, c) in corpus.iter().enumerate() {
+            let segments = grid_segments(&c.image, self.config().grid);
+            for (seg_idx, seg) in segments.iter().enumerate() {
+                for ex in &extractors {
+                    let v = ex.extract(&seg.image);
+                    out.push((doc, seg_idx, ex.space().to_string(), v.into_values()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Shared tail of both ingest routes: cluster, build visual documents,
+    /// flatten the internal schema, and mine the thesaurus.
+    fn finish_ingest(
+        &mut self,
+        corpus: &[CrawledImage],
+        extractions: Vec<Extraction>,
+    ) -> moa::Result<()> {
+        // 1. cluster each feature space into a visual vocabulary
+        let mut builder = VocabularyBuilder::new();
+        for (_, _, space, vector) in &extractions {
+            builder.add(space, vector.clone());
+        }
+        let vocab: VisualVocabulary = match self.config().clustering {
+            Clustering::AutoClass => builder.build_autoclass(&AutoClass::new(AutoClassConfig {
+                seed: self.config().seed,
+                ..Default::default()
+            })),
+            Clustering::KMeans(k) => builder.build_kmeans(k, self.config().seed),
+        };
+
+        // 2. visual document per image: the terms of all its segments
+        let mut visual_docs: Vec<Vec<String>> = vec![Vec::new(); corpus.len()];
+        for (doc, _, space, vector) in &extractions {
+            if let Some(term) = vocab.term_of(space, vector) {
+                visual_docs[*doc].push(term);
+            }
+        }
+
+        // 3. the internal schema of Section 5.2
+        let (name, ty) = parse_define(
+            "define ImageLibraryInternal as
+               SET< TUPLE<
+                 Atomic<URL>: source,
+                 CONTREP<Text>: annotation,
+                 CONTREP<Image>: image >>;",
+        )?;
+        debug_assert_eq!(name, INTERNAL);
+        let rows: Vec<MoaVal> = corpus
+            .iter()
+            .zip(&visual_docs)
+            .map(|(c, vterms)| {
+                MoaVal::Tuple(vec![
+                    MoaVal::Str(c.url.clone()),
+                    c.annotation.clone().map_or(MoaVal::Null, MoaVal::Str),
+                    MoaVal::Str(vterms.join(" ")),
+                ])
+            })
+            .collect();
+        self.env().create_collection(name, ty, rows)?;
+
+        // 4. the association thesaurus over the *annotated* subset
+        let mut th = ThesaurusBuilder::new();
+        for (c, vterms) in corpus.iter().zip(&visual_docs) {
+            if let Some(ann) = &c.annotation {
+                let text_terms = tokenize_stemmed(ann);
+                th.add_document(&text_terms, vterms);
+            }
+        }
+        let thesaurus = th.build(self.config().assoc);
+
+        self.docs = corpus
+            .iter()
+            .map(|c| DocMeta {
+                url: c.url.clone(),
+                annotated: c.annotation.is_some(),
+                theme: c.theme,
+            })
+            .collect();
+        self.set_ingest_outputs(vocab, thesaurus);
+        Ok(())
+    }
+
+    pub(crate) fn set_ingest_outputs(
+        &mut self,
+        vocab: VisualVocabulary,
+        thesaurus: thesaurus::AssociationThesaurus,
+    ) {
+        self.vocab = Some(vocab);
+        self.thesaurus = Some(thesaurus);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MirrorConfig;
+    use media::{RobotConfig, WebRobot};
+
+    fn small_corpus() -> Vec<CrawledImage> {
+        WebRobot::new(RobotConfig {
+            n_images: 24,
+            image_size: 24,
+            unannotated_fraction: 0.25,
+            seed: 7,
+        })
+        .crawl()
+    }
+
+    #[test]
+    fn ingest_builds_internal_collection() {
+        let mut db = MirrorDbms::with_defaults();
+        let corpus = small_corpus();
+        db.ingest(&corpus).unwrap();
+        assert_eq!(db.n_docs(), 24);
+        let meta = db.env().collection(INTERNAL).unwrap();
+        assert_eq!(meta.count, 24);
+        // both content representations were built
+        assert!(db.store().get("ImageLibraryInternal__annotation").is_some());
+        assert!(db.store().get("ImageLibraryInternal__image").is_some());
+        // every image has visual terms (6 extractors × 9 segments)
+        let vis = db.store().get("ImageLibraryInternal__image").unwrap();
+        assert!(vis.doc_len(0) > 0);
+        assert!(db.vocabulary().unwrap().total_terms() > 0);
+        assert!(db.thesaurus().unwrap().n_terms() > 0);
+    }
+
+    #[test]
+    fn unannotated_docs_have_empty_text_channel() {
+        let mut db = MirrorDbms::with_defaults();
+        let corpus = small_corpus();
+        db.ingest(&corpus).unwrap();
+        let ann = db.store().get("ImageLibraryInternal__annotation").unwrap();
+        for (i, c) in corpus.iter().enumerate() {
+            if c.annotation.is_none() {
+                assert_eq!(ann.doc_len(i as u32), 0, "doc {i} should be empty");
+            } else {
+                assert!(ann.doc_len(i as u32) > 0, "doc {i} should have terms");
+            }
+        }
+    }
+
+    #[test]
+    fn daemon_ingest_matches_inline_ingest() {
+        let corpus = small_corpus();
+        let mut inline_db = MirrorDbms::with_defaults();
+        inline_db.ingest(&corpus).unwrap();
+        let mut daemon_db = MirrorDbms::with_defaults();
+        daemon_db.ingest_via_daemons(&corpus).unwrap();
+        // identical visual documents → identical index statistics
+        let a = inline_db.store().get("ImageLibraryInternal__image").unwrap();
+        let b = daemon_db.store().get("ImageLibraryInternal__image").unwrap();
+        assert_eq!(a.stats().n_docs, b.stats().n_docs);
+        assert_eq!(a.stats().total_tokens, b.stats().total_tokens);
+        assert_eq!(a.stats().n_terms, b.stats().n_terms);
+    }
+
+    #[test]
+    fn kmeans_clustering_also_works() {
+        let mut db = MirrorDbms::new(MirrorConfig {
+            clustering: crate::Clustering::KMeans(4),
+            ..Default::default()
+        });
+        db.ingest(&small_corpus()).unwrap();
+        let vocab = db.vocabulary().unwrap();
+        for space in vocab.spaces() {
+            assert_eq!(vocab.model(&space).unwrap().n_clusters(), 4);
+        }
+    }
+
+    #[test]
+    fn reingest_replaces_state() {
+        let mut db = MirrorDbms::with_defaults();
+        db.ingest(&small_corpus()).unwrap();
+        let corpus2 = WebRobot::new(RobotConfig { n_images: 10, ..Default::default() }).crawl();
+        db.ingest(&corpus2).unwrap();
+        assert_eq!(db.n_docs(), 10);
+        assert_eq!(db.env().collection(INTERNAL).unwrap().count, 10);
+    }
+}

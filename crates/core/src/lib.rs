@@ -1,0 +1,186 @@
+//! # mirror-core — the Mirror DBMS facade
+//!
+//! The Mirror DBMS "provides the basic functionality for probabilistic
+//! inference, multimedia data types, and feature extraction techniques,
+//! just like traditional database systems provide the basic functionality
+//! to build administrative applications". This crate assembles the whole
+//! architecture:
+//!
+//! * the Moa object algebra over the binary-relational kernel
+//!   (`mirror-moa` / `mirror-monet`), with `CONTREP` registered
+//!   (`mirror-ir`);
+//! * the ingest pipeline of Section 5 ([`ingest`]): crawl → segment →
+//!   extract features (two colour + four texture daemons) → cluster each
+//!   feature space AutoClass-style → emit visual terms → build
+//!   `ImageLibraryInternal` with `CONTREP<Text>` and `CONTREP<Image>`
+//!   attributes → mine the association thesaurus (dual coding);
+//! * the retrieval application ([`query`]): text, visual, dual-coded and
+//!   combined structure+content queries, all expressed as the paper's Moa
+//!   query strings;
+//! * relevance feedback ([`feedback`]) and retrieval evaluation
+//!   ([`eval`]).
+
+pub mod eval;
+pub mod feedback;
+pub mod ingest;
+pub mod query;
+
+use cluster::VisualVocabulary;
+use ir::ContrepStore;
+use moa::{Env, MoaEngine, OptConfig};
+use std::sync::Arc;
+use thesaurus::{AssocMeasure, AssociationThesaurus};
+
+/// Which clustering algorithm quantises the feature spaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Clustering {
+    /// AutoClass substitute: EM mixture + BIC model selection.
+    AutoClass,
+    /// k-means baseline with a fixed k per space.
+    KMeans(usize),
+}
+
+/// Configuration of a Mirror instance.
+#[derive(Debug, Clone)]
+pub struct MirrorConfig {
+    /// Grid side for the segmentation daemon.
+    pub grid: usize,
+    /// Clustering algorithm for the visual vocabularies.
+    pub clustering: Clustering,
+    /// Association measure for the thesaurus.
+    pub assoc: AssocMeasure,
+    /// Associations taken per query term during expansion.
+    pub expand_per_term: usize,
+    /// Maximum visual terms per expanded query.
+    pub expand_max_terms: usize,
+    /// Keep raw rows for the naive-interpreter baseline (costs memory).
+    pub keep_raw: bool,
+    /// Seed for all stochastic stages.
+    pub seed: u64,
+}
+
+impl Default for MirrorConfig {
+    fn default() -> Self {
+        MirrorConfig {
+            grid: 3,
+            clustering: Clustering::AutoClass,
+            assoc: AssocMeasure::Emim,
+            expand_per_term: 4,
+            expand_max_terms: 12,
+            keep_raw: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-document bookkeeping kept by the facade (URLs for display,
+/// ground-truth theme for evaluation only).
+#[derive(Debug, Clone)]
+pub struct DocMeta {
+    /// Source URL.
+    pub url: String,
+    /// Whether the document arrived with an annotation.
+    pub annotated: bool,
+    /// Ground-truth theme index (evaluation only — the system never ranks
+    /// with it).
+    pub theme: usize,
+}
+
+/// The assembled Mirror DBMS.
+pub struct MirrorDbms {
+    env: Arc<Env>,
+    store: Arc<ContrepStore>,
+    engine: MoaEngine,
+    config: MirrorConfig,
+    vocab: Option<VisualVocabulary>,
+    thesaurus: Option<AssociationThesaurus>,
+    docs: Vec<DocMeta>,
+}
+
+/// Name of the internal collection built by ingest (the paper's
+/// `ImageLibraryInternal`).
+pub const INTERNAL: &str = "ImageLibraryInternal";
+
+impl MirrorDbms {
+    /// Create an empty instance.
+    pub fn new(config: MirrorConfig) -> Self {
+        let mut env = Env::new();
+        env.keep_raw = config.keep_raw;
+        let store = ir::register_contrep(&env);
+        let env = Arc::new(env);
+        let engine = MoaEngine::new(Arc::clone(&env));
+        MirrorDbms { env, store, engine, config, vocab: None, thesaurus: None, docs: Vec::new() }
+    }
+
+    /// Create with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(MirrorConfig::default())
+    }
+
+    /// The logical environment (schemas, catalog, registries).
+    pub fn env(&self) -> &Arc<Env> {
+        &self.env
+    }
+
+    /// The content-representation store.
+    pub fn store(&self) -> &Arc<ContrepStore> {
+        &self.store
+    }
+
+    /// The Moa engine (run arbitrary Moa queries against the library).
+    pub fn engine(&self) -> &MoaEngine {
+        &self.engine
+    }
+
+    /// Replace the optimiser configuration of the embedded engine.
+    pub fn set_opt(&mut self, opt: OptConfig) {
+        self.engine = MoaEngine::with_opt(Arc::clone(&self.env), opt);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MirrorConfig {
+        &self.config
+    }
+
+    /// The visual vocabulary (after ingest).
+    pub fn vocabulary(&self) -> Option<&VisualVocabulary> {
+        self.vocab.as_ref()
+    }
+
+    /// The association thesaurus (after ingest).
+    pub fn thesaurus(&self) -> Option<&AssociationThesaurus> {
+        self.thesaurus.as_ref()
+    }
+
+    /// Document metadata in oid order.
+    pub fn docs(&self) -> &[DocMeta] {
+        &self.docs
+    }
+
+    /// Number of ingested documents.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_instance_is_empty() {
+        let db = MirrorDbms::with_defaults();
+        assert_eq!(db.n_docs(), 0);
+        assert!(db.vocabulary().is_none());
+        assert!(db.thesaurus().is_none());
+        assert!(db.env().structures().contains("CONTREP"));
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let cfg = MirrorConfig { grid: 4, clustering: Clustering::KMeans(5), ..Default::default() };
+        let db = MirrorDbms::new(cfg.clone());
+        assert_eq!(db.config().grid, 4);
+        assert_eq!(db.config().clustering, Clustering::KMeans(5));
+    }
+}

@@ -1,0 +1,247 @@
+//! The retrieval application: querying the digital image library.
+//!
+//! All retrieval runs through the paper's Moa queries against
+//! `ImageLibraryInternal`; the facade only tokenises input, binds query
+//! variables, and sorts the resulting belief column.
+
+use crate::{MirrorDbms, INTERNAL};
+use ir::text::tokenize_stemmed;
+use moa::{MoaError, QueryOutput};
+use monet::Oid;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fresh per-request query-variable names, so concurrent queries never
+/// clobber each other's bindings in the shared environment.
+static QUERY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn fresh_query_name(channel: &str) -> String {
+    format!("q{}_{channel}", QUERY_SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
+/// One ranked retrieval result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedResult {
+    /// Document oid.
+    pub oid: Oid,
+    /// Source URL.
+    pub url: String,
+    /// Combined belief.
+    pub score: f64,
+}
+
+impl MirrorDbms {
+    /// Free-text retrieval over the annotation channel only — Section 3's
+    /// `map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))`.
+    pub fn query_text(&self, text: &str, k: usize) -> moa::Result<Vec<RankedResult>> {
+        let terms = weighted_terms(text);
+        let q = fresh_query_name("t");
+        self.env().bind_query(&q, terms);
+        let out = self.engine().query(&format!(
+            "map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)]({INTERNAL}))"
+        ));
+        self.env().unbind_query(&q);
+        self.ranked(out?, k)
+    }
+
+    /// Visual retrieval: a weighted visual-term query against the image
+    /// channel — Section 5.2's
+    /// `map[sum(THIS)](map[getBL(THIS.image, query, stats)](Lib))`.
+    pub fn query_visual(
+        &self,
+        visual_terms: &[(String, f64)],
+        k: usize,
+    ) -> moa::Result<Vec<RankedResult>> {
+        let q = fresh_query_name("v");
+        self.env().bind_query(&q, visual_terms.to_vec());
+        let out = self.engine().query(&format!(
+            "map[sum(THIS)](map[getBL(THIS.image, {q}, stats)]({INTERNAL}))"
+        ));
+        self.env().unbind_query(&q);
+        self.ranked(out?, k)
+    }
+
+    /// Dual-coded retrieval: the text query is expanded through the
+    /// association thesaurus into visual terms; both channels contribute
+    /// evidence, mixed with weight `visual_mix ∈ [0, 1]`. The combination
+    /// itself is a single Moa expression over both CONTREP attributes —
+    /// "refer to both structure and content of multimedia data in a single
+    /// query".
+    pub fn query_dual(
+        &self,
+        text: &str,
+        visual_mix: f64,
+        k: usize,
+    ) -> moa::Result<Vec<RankedResult>> {
+        let th = self
+            .thesaurus()
+            .ok_or_else(|| MoaError::Unknown("thesaurus (ingest first)".into()))?;
+        let text_terms = weighted_terms(text);
+        let visual_terms = th.expand(
+            &text_terms,
+            self.config().expand_per_term,
+            self.config().expand_max_terms,
+        );
+        if visual_terms.is_empty() {
+            return self.query_text(text, k);
+        }
+        let tq = fresh_query_name("t");
+        let vq = fresh_query_name("v");
+        self.env().bind_query(&tq, text_terms);
+        self.env().bind_query(&vq, visual_terms);
+        let tw = 1.0 - visual_mix;
+        let out = self.engine().query(&format!(
+            "map[sum(getBL(THIS.annotation, {tq}, stats)) * {tw}
+                 + sum(getBL(THIS.image, {vq}, stats)) * {visual_mix}]({INTERNAL})"
+        ));
+        self.env().unbind_query(&tq);
+        self.env().unbind_query(&vq);
+        self.ranked(out?, k)
+    }
+
+    /// Combined data/content retrieval: rank only the documents whose URL
+    /// contains `url_filter` — a relational selection composed with
+    /// probabilistic ranking in one expression.
+    pub fn query_text_filtered(
+        &self,
+        text: &str,
+        url_filter: &str,
+        k: usize,
+    ) -> moa::Result<Vec<RankedResult>> {
+        let terms = weighted_terms(text);
+        let q = fresh_query_name("t");
+        self.env().bind_query(&q, terms);
+        let out = self.engine().query(&format!(
+            "map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)](
+               select[contains(THIS.source, \"{url_filter}\")]({INTERNAL})))"
+        ));
+        self.env().unbind_query(&q);
+        self.ranked(out?, k)
+    }
+
+    /// Run a raw Moa query string against the library.
+    pub fn moa_query(&self, src: &str) -> moa::Result<QueryOutput> {
+        self.engine().query(src)
+    }
+
+    fn ranked(&self, out: QueryOutput, k: usize) -> moa::Result<Vec<RankedResult>> {
+        let pairs = match out {
+            QueryOutput::Pairs(p) => p,
+            other => {
+                return Err(MoaError::Type(format!(
+                    "ranking query returned {other:?}"
+                )))
+            }
+        };
+        let mut ranked: Vec<RankedResult> = pairs
+            .into_iter()
+            .filter_map(|(oid, v)| {
+                let score = v.as_float()?;
+                let url = self.docs().get(oid as usize)?.url.clone();
+                Some(RankedResult { oid, url, score })
+            })
+            .filter(|r| r.score > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.oid.cmp(&b.oid)));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+}
+
+/// Tokenise free text into unit-weight query terms.
+pub fn weighted_terms(text: &str) -> Vec<(String, f64)> {
+    tokenize_stemmed(text).into_iter().map(|t| (t, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media::{RobotConfig, WebRobot};
+
+    fn db() -> &'static MirrorDbms {
+        static DB: std::sync::OnceLock<MirrorDbms> = std::sync::OnceLock::new();
+        DB.get_or_init(|| {
+            let mut db = MirrorDbms::with_defaults();
+            let corpus = WebRobot::new(RobotConfig {
+                n_images: 40,
+                image_size: 24,
+                unannotated_fraction: 0.25,
+                seed: 11,
+            })
+            .crawl();
+            db.ingest(&corpus).unwrap();
+            db
+        })
+    }
+
+    #[test]
+    fn text_query_prefers_matching_theme() {
+        let db = db();
+        let results = db.query_text("sunset glow evening", 10).unwrap();
+        assert!(!results.is_empty());
+        // the majority of the top results should be sunset-themed
+        let themes: Vec<usize> =
+            results.iter().take(5).map(|r| db.docs()[r.oid as usize].theme).collect();
+        let sunset_hits = themes.iter().filter(|&&t| t == 0).count();
+        assert!(sunset_hits >= 3, "top-5 themes {themes:?}");
+        // scores are sorted descending
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn visual_query_runs_over_image_channel() {
+        let db = db();
+        // borrow the visual terms of doc 0 via the thesaurus expansion
+        let exp = db
+            .thesaurus()
+            .unwrap()
+            .expand(&weighted_terms("sunset"), 4, 8);
+        assert!(!exp.is_empty());
+        let results = db.query_visual(&exp, 10).unwrap();
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn dual_query_finds_unannotated_documents() {
+        let db = db();
+        let dual = db.query_dual("sunset glow", 0.6, 40).unwrap();
+        // un-annotated sunset images are reachable only via the visual
+        // channel; dual retrieval must surface at least one
+        let unannotated_hit = dual
+            .iter()
+            .any(|r| !db.docs()[r.oid as usize].annotated);
+        assert!(unannotated_hit, "dual retrieval found no un-annotated documents");
+    }
+
+    #[test]
+    fn filtered_query_respects_the_relational_predicate() {
+        let db = db();
+        let results = db.query_text_filtered("sunset", "/sunset/", 20).unwrap();
+        assert!(!results.is_empty());
+        for r in &results {
+            assert!(r.url.contains("/sunset/"), "{}", r.url);
+        }
+    }
+
+    #[test]
+    fn unknown_terms_return_empty() {
+        let db = db();
+        let results = db.query_text("xylophone quantum", 5).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let db = db();
+        let results = db.query_text("sunset", 3).unwrap();
+        assert!(results.len() <= 3);
+    }
+
+    #[test]
+    fn moa_query_passthrough() {
+        let db = db();
+        let out = db.moa_query(&format!("count({INTERNAL})")).unwrap();
+        assert_eq!(out.scalar().and_then(|v| v.as_int()), Some(40));
+    }
+}

@@ -1,0 +1,182 @@
+//! The standard extraction daemons of the demo system.
+
+use crate::bus::{Bus, Envelope, Message, SegmentBlob};
+use crate::runtime::Daemon;
+use crate::{TOPIC_CRAWLED, TOPIC_FEATURES, TOPIC_SEGMENTED};
+use media::{grid_segments, region_grow_segments, FeatureExtractor, Image};
+
+/// Which segmentation algorithm a [`SegmenterDaemon`] runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmenterKind {
+    /// `n × n` grid.
+    Grid(usize),
+    /// Region growing with a colour threshold.
+    RegionGrow(f64),
+}
+
+/// The segmentation daemon: consumes crawled images, publishes segments.
+pub struct SegmenterDaemon {
+    kind: SegmenterKind,
+}
+
+impl SegmenterDaemon {
+    /// Create a segmenter of the given kind.
+    pub fn new(kind: SegmenterKind) -> Self {
+        SegmenterDaemon { kind }
+    }
+}
+
+impl Daemon for SegmenterDaemon {
+    fn name(&self) -> String {
+        "segmenter".to_string()
+    }
+
+    fn subscriptions(&self) -> Vec<String> {
+        vec![TOPIC_CRAWLED.to_string()]
+    }
+
+    fn handle(&mut self, envelope: Envelope, bus: &Bus) {
+        let Message::ImageCrawled { url, blob, .. } = envelope.msg else { return };
+        let Some(image) = Image::from_blob(&blob) else { return };
+        let segments = match self.kind {
+            SegmenterKind::Grid(n) => grid_segments(&image, n),
+            SegmenterKind::RegionGrow(t) => region_grow_segments(&image, t),
+        };
+        let blobs: Vec<SegmentBlob> = segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SegmentBlob {
+                index: i,
+                rect: (s.x, s.y, s.w, s.h),
+                blob: s.image.to_blob(),
+            })
+            .collect();
+        bus.publish(
+            TOPIC_SEGMENTED,
+            &self.name(),
+            Message::ImageSegmented { url, segments: blobs },
+        );
+    }
+}
+
+/// A feature-extraction daemon wrapping one [`FeatureExtractor`]. Several
+/// run "independently" in the demo — one per feature space.
+pub struct FeatureDaemon {
+    extractor: Box<dyn FeatureExtractor>,
+}
+
+impl FeatureDaemon {
+    /// Wrap an extractor.
+    pub fn new(extractor: Box<dyn FeatureExtractor>) -> Self {
+        FeatureDaemon { extractor }
+    }
+}
+
+impl Daemon for FeatureDaemon {
+    fn name(&self) -> String {
+        format!("feature-{}", self.extractor.space())
+    }
+
+    fn subscriptions(&self) -> Vec<String> {
+        vec![TOPIC_SEGMENTED.to_string()]
+    }
+
+    fn handle(&mut self, envelope: Envelope, bus: &Bus) {
+        let Message::ImageSegmented { url, segments } = envelope.msg else { return };
+        for seg in &segments {
+            let Some(image) = Image::from_blob(&seg.blob) else { continue };
+            let vector = self.extractor.extract(&image);
+            bus.publish(
+                TOPIC_FEATURES,
+                &self.name(),
+                Message::FeaturesExtracted {
+                    url: url.clone(),
+                    segment: seg.index,
+                    space: self.extractor.space().to_string(),
+                    vector: vector.into_values(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::DaemonRuntime;
+    use media::color::RgbHistogram;
+    use std::time::Duration;
+
+    fn crawl_one(rt: &DaemonRuntime) {
+        let img = Image::filled(16, 16, [200, 40, 40]);
+        rt.bus().publish(
+            TOPIC_CRAWLED,
+            "robot",
+            Message::ImageCrawled {
+                url: "http://x/0.png".into(),
+                blob: img.to_blob(),
+                annotation: Some("red square".into()),
+            },
+        );
+    }
+
+    #[test]
+    fn segmenter_produces_grid_segments() {
+        let rt = DaemonRuntime::new();
+        let seg_rx = rt.bus().subscribe(TOPIC_SEGMENTED);
+        rt.spawn(Box::new(SegmenterDaemon::new(SegmenterKind::Grid(2))));
+        crawl_one(&rt);
+        let env = seg_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let Message::ImageSegmented { segments, url } = env.msg else { panic!() };
+        assert_eq!(url, "http://x/0.png");
+        assert_eq!(segments.len(), 4);
+        assert_eq!(segments[3].rect, (8, 8, 8, 8));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn feature_daemon_emits_one_vector_per_segment() {
+        let rt = DaemonRuntime::new();
+        let feat_rx = rt.bus().subscribe(TOPIC_FEATURES);
+        rt.spawn(Box::new(SegmenterDaemon::new(SegmenterKind::Grid(2))));
+        rt.spawn(Box::new(FeatureDaemon::new(Box::new(RgbHistogram::default()))));
+        crawl_one(&rt);
+        let mut got = Vec::new();
+        while let Ok(env) = feat_rx.recv_timeout(Duration::from_millis(800)) {
+            if let Message::FeaturesExtracted { segment, space, vector, .. } = env.msg {
+                assert_eq!(space, "rgb");
+                assert_eq!(vector.len(), 64);
+                got.push(segment);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn region_grow_segmenter_works_through_bus() {
+        let rt = DaemonRuntime::new();
+        let seg_rx = rt.bus().subscribe(TOPIC_SEGMENTED);
+        rt.spawn(Box::new(SegmenterDaemon::new(SegmenterKind::RegionGrow(15.0))));
+        crawl_one(&rt); // uniform image → one region
+        let env = seg_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let Message::ImageSegmented { segments, .. } = env.msg else { panic!() };
+        assert_eq!(segments.len(), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn malformed_blobs_are_ignored() {
+        let rt = DaemonRuntime::new();
+        let seg_rx = rt.bus().subscribe(TOPIC_SEGMENTED);
+        rt.spawn(Box::new(SegmenterDaemon::new(SegmenterKind::Grid(2))));
+        rt.bus().publish(
+            TOPIC_CRAWLED,
+            "robot",
+            Message::ImageCrawled { url: "bad".into(), blob: vec![1, 2], annotation: None },
+        );
+        assert!(seg_rx.recv_timeout(Duration::from_millis(300)).is_err());
+        rt.shutdown();
+    }
+}

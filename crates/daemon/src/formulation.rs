@@ -1,0 +1,126 @@
+//! The query-formulation daemon.
+//!
+//! "Furthermore, we have thesaurus daemons that are interactively used
+//! during query formulation" (§5.1): a client sends raw query text; the
+//! daemon answers with the expanded, weighted visual-term query derived
+//! from the association thesaurus. Keeping formulation on the bus means a
+//! different thesaurus (or a human-in-the-loop one) can replace it without
+//! touching the retrieval engine.
+
+use crate::bus::{Bus, Envelope, Message};
+use crate::runtime::Daemon;
+use crossbeam::channel::Sender;
+
+/// Topic carrying query-formulation requests.
+pub const TOPIC_FORMULATE: &str = "query.formulate";
+
+/// Request/reply payloads ride inside `Message::FormulateQuery`-shaped
+/// envelopes; to avoid widening the core message enum for every daemon,
+/// formulation reuses `FetchMedia`'s request/reply idiom with its own
+/// message type below.
+#[derive(Debug, Clone)]
+pub struct FormulationRequest {
+    /// Raw user text.
+    pub text: String,
+    /// Maximum visual terms to return.
+    pub max_terms: usize,
+    /// Where to deliver the expansion.
+    pub reply: Sender<Vec<(String, f64)>>,
+}
+
+/// A thesaurus daemon answering formulation requests.
+pub struct ThesaurusDaemon {
+    thesaurus: thesaurus::AssociationThesaurus,
+    per_term: usize,
+}
+
+impl ThesaurusDaemon {
+    /// Wrap a mined thesaurus.
+    pub fn new(thesaurus: thesaurus::AssociationThesaurus, per_term: usize) -> Self {
+        ThesaurusDaemon { thesaurus, per_term }
+    }
+}
+
+impl Daemon for ThesaurusDaemon {
+    fn name(&self) -> String {
+        "thesaurus".to_string()
+    }
+
+    fn subscriptions(&self) -> Vec<String> {
+        vec![TOPIC_FORMULATE.to_string()]
+    }
+
+    fn handle(&mut self, envelope: Envelope, _bus: &Bus) {
+        let Message::FormulateQuery(req) = envelope.msg else { return };
+        let terms: Vec<(String, f64)> = ir::text::tokenize_stemmed(&req.text)
+            .into_iter()
+            .map(|t| (t, 1.0))
+            .collect();
+        let expansion = self.thesaurus.expand(&terms, self.per_term, req.max_terms);
+        let _ = req.reply.send(expansion);
+    }
+}
+
+/// Client helper: formulate a query through the bus.
+pub fn formulate(
+    bus: &Bus,
+    text: &str,
+    max_terms: usize,
+    timeout: std::time::Duration,
+) -> Option<Vec<(String, f64)>> {
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    bus.publish(
+        TOPIC_FORMULATE,
+        "client",
+        Message::FormulateQuery(FormulationRequest {
+            text: text.to_string(),
+            max_terms,
+            reply: tx,
+        }),
+    );
+    rx.recv_timeout(timeout).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::DaemonRuntime;
+    use std::time::Duration;
+    use thesaurus::{AssocMeasure, ThesaurusBuilder};
+
+    fn mined() -> thesaurus::AssociationThesaurus {
+        let mut b = ThesaurusBuilder::new();
+        for _ in 0..8 {
+            b.add_document(&["sunset", "glow"], &["rgb_0", "gabor_2"]);
+            b.add_document(&["forest"], &["rgb_1"]);
+        }
+        b.build(AssocMeasure::Emim)
+    }
+
+    #[test]
+    fn daemon_expands_queries_over_the_bus() {
+        let rt = DaemonRuntime::new();
+        rt.spawn(Box::new(ThesaurusDaemon::new(mined(), 3)));
+        let exp = formulate(rt.bus(), "glowing sunset", 5, Duration::from_secs(2))
+            .expect("formulation reply");
+        assert!(!exp.is_empty());
+        assert!(exp.iter().any(|(v, _)| v == "rgb_0" || v == "gabor_2"), "{exp:?}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_vocabulary_yields_empty_expansion() {
+        let rt = DaemonRuntime::new();
+        rt.spawn(Box::new(ThesaurusDaemon::new(mined(), 3)));
+        let exp = formulate(rt.bus(), "xylophone", 5, Duration::from_secs(2)).unwrap();
+        assert!(exp.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn no_daemon_means_no_reply() {
+        let bus = Bus::new();
+        let exp = formulate(&bus, "sunset", 5, Duration::from_millis(100));
+        assert!(exp.is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # daemon — the open distributed architecture (Figure 1)
+//!
+//! The Mirror architecture is deliberately *not* a monolithic DBMS: "a
+//! digital library can only be a success if it follows the model of the
+//! web". Daemons — human annotators, automatic meta-data extractors,
+//! query-formulation helpers — run independently of the metadata database
+//! and communicate through CORBA in the paper. Offline we substitute an
+//! in-process, typed message bus with one thread per daemon, preserving
+//! the properties the paper actually claims:
+//!
+//! * **decoupling** — daemons know topics, not each other;
+//! * **independence** — each daemon runs on its own thread at its own
+//!   pace; the metadata database is just another party on the bus;
+//! * **extensibility** — daemons can be attached (and detached) at run
+//!   time without touching the rest of the system (exercised by E5).
+//!
+//! Modules: [`bus`] (topics, envelopes, publish/subscribe), [`runtime`]
+//! (daemon lifecycle), [`daemons`] (segmenter + feature extractors),
+//! [`mediaserver`] (the blob store of Figure 1).
+
+pub mod bus;
+pub mod daemons;
+pub mod formulation;
+pub mod mediaserver;
+pub mod runtime;
+
+pub use bus::{Bus, Envelope, Message, SegmentBlob};
+pub use daemons::{FeatureDaemon, SegmenterDaemon, SegmenterKind};
+pub use formulation::{formulate, ThesaurusDaemon, TOPIC_FORMULATE};
+pub use mediaserver::MediaServer;
+pub use runtime::{Daemon, DaemonRuntime};
+
+/// Topic carrying freshly crawled images.
+pub const TOPIC_CRAWLED: &str = "image.crawled";
+/// Topic carrying segmentation results.
+pub const TOPIC_SEGMENTED: &str = "image.segmented";
+/// Topic carrying extracted feature vectors.
+pub const TOPIC_FEATURES: &str = "features.extracted";
+/// Topic carrying media-server requests.
+pub const TOPIC_MEDIA: &str = "media.request";

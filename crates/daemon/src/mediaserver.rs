@@ -1,0 +1,115 @@
+//! The media server of Figure 1 — "the media server is a web server".
+//!
+//! A keyed blob store behind the bus: content representations live in the
+//! metadata database; the footage itself is served by URL on demand.
+
+use crate::bus::{Bus, Envelope, Message};
+use crate::runtime::Daemon;
+use crate::TOPIC_MEDIA;
+use std::collections::HashMap;
+
+/// The media-server daemon.
+#[derive(Default)]
+pub struct MediaServer {
+    store: HashMap<String, Vec<u8>>,
+}
+
+impl MediaServer {
+    /// Create an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored blobs (for monitoring).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+impl Daemon for MediaServer {
+    fn name(&self) -> String {
+        "media-server".to_string()
+    }
+
+    fn subscriptions(&self) -> Vec<String> {
+        vec![TOPIC_MEDIA.to_string()]
+    }
+
+    fn handle(&mut self, envelope: Envelope, _bus: &Bus) {
+        match envelope.msg {
+            Message::StoreMedia { url, blob } => {
+                self.store.insert(url, blob);
+            }
+            Message::FetchMedia { url, reply } => {
+                let _ = reply.send(self.store.get(&url).cloned());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Client helper: fetch a blob through the bus, blocking up to `timeout`.
+pub fn fetch_media(
+    bus: &Bus,
+    url: &str,
+    timeout: std::time::Duration,
+) -> Option<Vec<u8>> {
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    bus.publish(
+        TOPIC_MEDIA,
+        "client",
+        Message::FetchMedia { url: url.to_string(), reply: tx },
+    );
+    rx.recv_timeout(timeout).ok().flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::DaemonRuntime;
+    use std::time::Duration;
+
+    #[test]
+    fn store_and_fetch_roundtrip() {
+        let rt = DaemonRuntime::new();
+        rt.spawn(Box::new(MediaServer::new()));
+        rt.bus().publish(
+            TOPIC_MEDIA,
+            "ingest",
+            Message::StoreMedia { url: "http://x/1".into(), blob: vec![7, 8, 9] },
+        );
+        let got = fetch_media(rt.bus(), "http://x/1", Duration::from_secs(2));
+        assert_eq!(got, Some(vec![7, 8, 9]));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn fetch_unknown_returns_none() {
+        let rt = DaemonRuntime::new();
+        rt.spawn(Box::new(MediaServer::new()));
+        let got = fetch_media(rt.bus(), "http://nope", Duration::from_secs(2));
+        assert_eq!(got, None);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let rt = DaemonRuntime::new();
+        rt.spawn(Box::new(MediaServer::new()));
+        for v in [vec![1], vec![2]] {
+            rt.bus().publish(
+                TOPIC_MEDIA,
+                "ingest",
+                Message::StoreMedia { url: "k".into(), blob: v },
+            );
+        }
+        let got = fetch_media(rt.bus(), "k", Duration::from_secs(2));
+        assert_eq!(got, Some(vec![2]));
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,83 @@
+//! The term dictionary: stemmed terms ↔ dense term ids.
+
+use std::collections::HashMap;
+
+/// A bidirectional term ↔ id mapping. Term ids are dense `u32`s in
+/// insertion order, which makes them directly usable as oids in the
+/// flattened BAT representation.
+#[derive(Debug, Default, Clone)]
+pub struct TermDict {
+    terms: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl TermDict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.to_string());
+        self.index.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up a term id without interning.
+    pub fn lookup(&self, term: &str) -> Option<u32> {
+        self.index.get(term).copied()
+    }
+
+    /// Resolve an id back to its term.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate `(id, term)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.terms.iter().enumerate().map(|(i, t)| (i as u32, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut d = TermDict::new();
+        let a = d.intern("sunset");
+        let b = d.intern("beach");
+        assert_eq!(d.intern("sunset"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.lookup("beach"), Some(b));
+        assert_eq!(d.lookup("nope"), None);
+        assert_eq!(d.term(a), Some("sunset"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut d = TermDict::new();
+        for (i, t) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(d.intern(t), i as u32);
+        }
+        let collected: Vec<_> = d.iter().map(|(i, t)| (i, t.to_string())).collect();
+        assert_eq!(collected[2], (2, "c".to_string()));
+    }
+}

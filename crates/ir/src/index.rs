@@ -1,0 +1,289 @@
+//! The inverted index and collection statistics.
+//!
+//! The index is the flattened form of a `CONTREP<Text>` column: term
+//! dictionary, postings (term → (document, tf) pairs), document lengths and
+//! global statistics. [`InvertedIndex::register_bats`] materialises all of
+//! it as BATs, which is what "implementing an IR model on a binary
+//! relational physical data model" means in practice — the ranking
+//! operators are then ordinary (custom) kernel operators over columns.
+
+use crate::dict::TermDict;
+use crate::text::tokenize_stemmed;
+use monet::{Bat, Catalog, Column, Oid};
+
+/// One posting: a document and the term's frequency within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document oid.
+    pub doc: Oid,
+    /// Term frequency.
+    pub tf: u32,
+}
+
+/// Global collection statistics (the paper's `stats` structure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Number of distinct terms.
+    pub n_terms: usize,
+    /// Average document length in tokens.
+    pub avg_dl: f64,
+    /// Total token count.
+    pub total_tokens: u64,
+}
+
+/// An immutable inverted index over one document collection.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    dict: TermDict,
+    /// Postings per term id, document-ordered.
+    postings: Vec<Vec<Posting>>,
+    /// Document frequency per term id.
+    df: Vec<u32>,
+    /// Collection frequency per term id.
+    cf: Vec<u64>,
+    /// Token count per document.
+    doc_len: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// The term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Postings list of a term, if the term occurs.
+    pub fn postings(&self, term: &str) -> Option<&[Posting]> {
+        let tid = self.dict.lookup(term)?;
+        Some(&self.postings[tid as usize])
+    }
+
+    /// Postings by term id.
+    pub fn postings_by_id(&self, tid: u32) -> &[Posting] {
+        &self.postings[tid as usize]
+    }
+
+    /// Document frequency of a term (0 when absent).
+    pub fn df(&self, term: &str) -> u32 {
+        self.dict.lookup(term).map_or(0, |t| self.df[t as usize])
+    }
+
+    /// Collection frequency of a term (0 when absent).
+    pub fn cf(&self, term: &str) -> u64 {
+        self.dict.lookup(term).map_or(0, |t| self.cf[t as usize])
+    }
+
+    /// Length (token count) of document `doc`.
+    pub fn doc_len(&self, doc: Oid) -> u32 {
+        self.doc_len.get(doc as usize).copied().unwrap_or(0)
+    }
+
+    /// Term frequency of `term` in `doc` — a per-document lookup, the
+    /// operation a tuple-at-a-time engine performs per (doc, term) pair.
+    pub fn tf(&self, term: &str, doc: Oid) -> u32 {
+        let Some(posts) = self.postings(term) else { return 0 };
+        posts
+            .binary_search_by_key(&doc, |p| p.doc)
+            .map(|i| posts[i].tf)
+            .unwrap_or(0)
+    }
+
+    /// Collection statistics.
+    pub fn stats(&self) -> CollectionStats {
+        let total: u64 = self.doc_len.iter().map(|&l| l as u64).sum();
+        let n = self.doc_len.len();
+        CollectionStats {
+            n_docs: n,
+            n_terms: self.dict.len(),
+            avg_dl: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            total_tokens: total,
+        }
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Materialise the index as BATs under `prefix`:
+    ///
+    /// * `{prefix}__term`    — `[tid, term]`
+    /// * `{prefix}__df`      — `[tid, document frequency]`
+    /// * `{prefix}__post_t`  — `[pid, tid]` (posting → term)
+    /// * `{prefix}__post_d`  — `[pid, doc]` (posting → document)
+    /// * `{prefix}__post_tf` — `[pid, tf]`
+    /// * `{prefix}__dl`      — `[doc, length]`
+    pub fn register_bats(&self, catalog: &Catalog, prefix: &str) {
+        let terms: Column = self.dict.iter().map(|(_, t)| t).collect();
+        catalog.register(format!("{prefix}__term"), Bat::dense(terms));
+        catalog.register(
+            format!("{prefix}__df"),
+            Bat::dense(Column::Int(self.df.iter().map(|&d| d as i64).collect())),
+        );
+        let mut post_t = Vec::new();
+        let mut post_d = Vec::new();
+        let mut post_tf = Vec::new();
+        for (tid, posts) in self.postings.iter().enumerate() {
+            for p in posts {
+                post_t.push(tid as Oid);
+                post_d.push(p.doc);
+                post_tf.push(p.tf as i64);
+            }
+        }
+        catalog.register(format!("{prefix}__post_t"), Bat::dense(Column::Oid(post_t)));
+        catalog.register(format!("{prefix}__post_d"), Bat::dense(Column::Oid(post_d)));
+        catalog.register(format!("{prefix}__post_tf"), Bat::dense(Column::Int(post_tf)));
+        catalog.register(
+            format!("{prefix}__dl"),
+            Bat::dense(Column::Int(self.doc_len.iter().map(|&l| l as i64).collect())),
+        );
+    }
+}
+
+/// Incremental index builder.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    dict: TermDict,
+    postings: Vec<Vec<Posting>>,
+    cf: Vec<u64>,
+    doc_len: Vec<u32>,
+}
+
+impl IndexBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the next document from raw text (tokenise + stem). Missing
+    /// documents (`None`) get an empty representation, keeping doc oids
+    /// aligned with collection oids.
+    pub fn add_text(&mut self, text: Option<&str>) {
+        match text {
+            Some(t) => self.add_tokens(&tokenize_stemmed(t)),
+            None => self.add_tokens::<&str>(&[]),
+        }
+    }
+
+    /// Add the next document from pre-tokenised terms (used for visual
+    /// "documents" whose terms are cluster names).
+    pub fn add_tokens<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        let doc = self.doc_len.len() as Oid;
+        self.doc_len.push(tokens.len() as u32);
+        // per-document tf accumulation
+        let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for t in tokens {
+            let tid = self.dict.intern(t.as_ref());
+            if tid as usize >= self.postings.len() {
+                self.postings.push(Vec::new());
+                self.cf.push(0);
+            }
+            *counts.entry(tid).or_insert(0) += 1;
+            self.cf[tid as usize] += 1;
+        }
+        let mut tids: Vec<_> = counts.into_iter().collect();
+        tids.sort_unstable();
+        for (tid, tf) in tids {
+            self.postings[tid as usize].push(Posting { doc, tf });
+        }
+    }
+
+    /// Freeze into an immutable index.
+    pub fn build(self) -> InvertedIndex {
+        let df = self.postings.iter().map(|p| p.len() as u32).collect();
+        InvertedIndex {
+            dict: self.dict,
+            postings: self.postings,
+            df,
+            cf: self.cf,
+            doc_len: self.doc_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_text(Some("the sunset over the beach"));
+        b.add_text(Some("a forest in the mist, a quiet forest"));
+        b.add_text(None);
+        b.add_text(Some("sunset colors on the beach sand"));
+        b.build()
+    }
+
+    #[test]
+    fn postings_and_df() {
+        let idx = small_index();
+        assert_eq!(idx.df("sunset"), 2);
+        assert_eq!(idx.df("forest"), 1);
+        assert_eq!(idx.df("nothere"), 0);
+        let posts = idx.postings("sunset").unwrap();
+        assert_eq!(posts.len(), 2);
+        assert_eq!(posts[0].doc, 0);
+        assert_eq!(posts[1].doc, 3);
+    }
+
+    #[test]
+    fn tf_within_document() {
+        let idx = small_index();
+        assert_eq!(idx.tf("forest", 1), 2);
+        assert_eq!(idx.tf("forest", 0), 0);
+        assert_eq!(idx.cf("forest"), 2);
+    }
+
+    #[test]
+    fn doc_len_counts_kept_tokens() {
+        let idx = small_index();
+        // "the sunset over the beach" → stopwords removed → sunset, beach
+        assert_eq!(idx.doc_len(0), 2);
+        assert_eq!(idx.doc_len(2), 0); // missing annotation
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let idx = small_index();
+        let s = idx.stats();
+        assert_eq!(s.n_docs, 4);
+        assert!(s.n_terms >= 6);
+        assert!((s.avg_dl - s.total_tokens as f64 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bats_mirror_the_index() {
+        let idx = small_index();
+        let cat = Catalog::new();
+        idx.register_bats(&cat, "Lib__annotation");
+        let terms = cat.get("Lib__annotation__term").unwrap();
+        assert_eq!(terms.count(), idx.dict().len());
+        let post_d = cat.get("Lib__annotation__post_d").unwrap();
+        let post_tf = cat.get("Lib__annotation__post_tf").unwrap();
+        assert_eq!(post_d.count(), post_tf.count());
+        let dl = cat.get("Lib__annotation__dl").unwrap();
+        assert_eq!(dl.count(), 4);
+        // postings count = sum of dfs
+        let df = cat.get("Lib__annotation__df").unwrap();
+        let total_df: i64 = df.tail().int_slice().unwrap().iter().sum();
+        assert_eq!(total_df as usize, post_d.count());
+    }
+
+    #[test]
+    fn tokens_api_for_visual_terms() {
+        let mut b = IndexBuilder::new();
+        b.add_tokens(&["rgb_3", "rgb_3", "gabor_21"]);
+        let idx = b.build();
+        assert_eq!(idx.tf("rgb_3", 0), 2);
+        assert_eq!(idx.df("gabor_21"), 1);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexBuilder::new().build();
+        assert_eq!(idx.n_docs(), 0);
+        assert_eq!(idx.stats().avg_dl, 0.0);
+        assert!(idx.postings("x").is_none());
+    }
+}

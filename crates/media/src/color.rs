@@ -1,0 +1,159 @@
+//! The two colour-histogram feature daemons of the demo system.
+
+use crate::image::Image;
+use crate::vector::FeatureVector;
+use crate::FeatureExtractor;
+
+/// RGB cube histogram: each channel quantised into `bins` levels,
+/// producing a `bins³`-dimensional L1-normalised histogram.
+#[derive(Debug, Clone)]
+pub struct RgbHistogram {
+    /// Quantisation levels per channel.
+    pub bins: usize,
+}
+
+impl Default for RgbHistogram {
+    fn default() -> Self {
+        RgbHistogram { bins: 4 }
+    }
+}
+
+impl FeatureExtractor for RgbHistogram {
+    fn space(&self) -> &'static str {
+        "rgb"
+    }
+
+    fn dims(&self) -> usize {
+        self.bins * self.bins * self.bins
+    }
+
+    fn extract(&self, image: &Image) -> FeatureVector {
+        let b = self.bins;
+        let mut hist = vec![0f64; b * b * b];
+        for p in image.pixels() {
+            let r = (p[0] as usize * b) / 256;
+            let g = (p[1] as usize * b) / 256;
+            let bl = (p[2] as usize * b) / 256;
+            hist[(r * b + g) * b + bl] += 1.0;
+        }
+        let mut v = FeatureVector::new(hist);
+        v.normalize_l1();
+        v
+    }
+}
+
+/// HSV histogram: hue × saturation × value quantised independently
+/// (`8 × 3 × 3` by default), L1-normalised.
+#[derive(Debug, Clone)]
+pub struct HsvHistogram {
+    /// Hue bins.
+    pub hue_bins: usize,
+    /// Saturation bins.
+    pub sat_bins: usize,
+    /// Value bins.
+    pub val_bins: usize,
+}
+
+impl Default for HsvHistogram {
+    fn default() -> Self {
+        HsvHistogram { hue_bins: 8, sat_bins: 3, val_bins: 3 }
+    }
+}
+
+impl FeatureExtractor for HsvHistogram {
+    fn space(&self) -> &'static str {
+        "hsv"
+    }
+
+    fn dims(&self) -> usize {
+        self.hue_bins * self.sat_bins * self.val_bins
+    }
+
+    fn extract(&self, image: &Image) -> FeatureVector {
+        let mut hist = vec![0f64; self.dims()];
+        for p in image.pixels() {
+            let (h, s, v) = rgb_to_hsv(*p);
+            let hb = ((h / 360.0) * self.hue_bins as f64) as usize % self.hue_bins.max(1);
+            let sb = (s * self.sat_bins as f64).min(self.sat_bins as f64 - 1.0) as usize;
+            let vb = (v * self.val_bins as f64).min(self.val_bins as f64 - 1.0) as usize;
+            hist[(hb * self.sat_bins + sb) * self.val_bins + vb] += 1.0;
+        }
+        let mut out = FeatureVector::new(hist);
+        out.normalize_l1();
+        out
+    }
+}
+
+/// RGB → HSV with h ∈ [0, 360), s, v ∈ [0, 1].
+pub fn rgb_to_hsv(rgb: [u8; 3]) -> (f64, f64, f64) {
+    let r = rgb[0] as f64 / 255.0;
+    let g = rgb[1] as f64 / 255.0;
+    let b = rgb[2] as f64 / 255.0;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    let h = if delta == 0.0 {
+        0.0
+    } else if max == r {
+        60.0 * (((g - b) / delta).rem_euclid(6.0))
+    } else if max == g {
+        60.0 * ((b - r) / delta + 2.0)
+    } else {
+        60.0 * ((r - g) / delta + 4.0)
+    };
+    let s = if max == 0.0 { 0.0 } else { delta / max };
+    (h, s, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_histogram_of_uniform_image_is_one_hot() {
+        let img = Image::filled(8, 8, [255, 0, 0]);
+        let v = RgbHistogram::default().extract(&img);
+        let nonzero: Vec<_> = v.values().iter().filter(|&&x| x > 0.0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert!((v.values().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rgb_histogram_separates_colors() {
+        let red = RgbHistogram::default().extract(&Image::filled(8, 8, [250, 10, 10]));
+        let blue = RgbHistogram::default().extract(&Image::filled(8, 8, [10, 10, 250]));
+        assert!(red.distance(&blue) > 0.5);
+    }
+
+    #[test]
+    fn hsv_conversion_known_points() {
+        let (h, s, v) = rgb_to_hsv([255, 0, 0]);
+        assert!((h - 0.0).abs() < 1e-9 && (s - 1.0).abs() < 1e-9 && (v - 1.0).abs() < 1e-9);
+        let (h, _, _) = rgb_to_hsv([0, 255, 0]);
+        assert!((h - 120.0).abs() < 1e-9);
+        let (h, _, _) = rgb_to_hsv([0, 0, 255]);
+        assert!((h - 240.0).abs() < 1e-9);
+        let (_, s, v) = rgb_to_hsv([0, 0, 0]);
+        assert_eq!((s, v), (0.0, 0.0));
+        let (h2, s2, _) = rgb_to_hsv([128, 128, 128]);
+        assert_eq!((h2, s2), (0.0, 0.0)); // grey has no hue/saturation
+    }
+
+    #[test]
+    fn hsv_histogram_close_hues_cluster() {
+        let h = HsvHistogram::default();
+        let orange1 = h.extract(&Image::filled(8, 8, [250, 120, 30]));
+        let orange2 = h.extract(&Image::filled(8, 8, [245, 130, 40]));
+        let green = h.extract(&Image::filled(8, 8, [40, 200, 60]));
+        assert!(orange1.distance(&orange2) < orange1.distance(&green));
+    }
+
+    #[test]
+    fn histograms_have_declared_dims() {
+        let img = Image::filled(4, 4, [1, 2, 3]);
+        let r = RgbHistogram { bins: 2 };
+        assert_eq!(r.extract(&img).dims(), 8);
+        let h = HsvHistogram { hue_bins: 4, sat_bins: 2, val_bins: 2 };
+        assert_eq!(h.extract(&img).dims(), 16);
+    }
+}

@@ -1,0 +1,170 @@
+//! A minimal owned RGB image.
+
+/// An 8-bit RGB image with row-major pixel storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Image {
+    /// A black image of the given size.
+    pub fn new(width: usize, height: usize) -> Image {
+        Image { width, height, pixels: vec![[0, 0, 0]; width * height] }
+    }
+
+    /// An image filled with one colour.
+    pub fn filled(width: usize, height: usize, rgb: [u8; 3]) -> Image {
+        Image { width, height, pixels: vec![rgb; width * height] }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`. Panics when out of bounds (kernel-internal use).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Set pixel `(x, y)`; out-of-bounds writes are ignored, which keeps
+    /// procedural painters free of boundary bookkeeping.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    /// Greyscale luminance at `(x, y)` (Rec. 601 weights), in `[0, 255]`.
+    #[inline]
+    pub fn luma(&self, x: usize, y: usize) -> f64 {
+        let [r, g, b] = self.get(x, y);
+        0.299 * r as f64 + 0.587 * g as f64 + 0.114 * b as f64
+    }
+
+    /// Crop a rectangle (clamped to the image bounds).
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        let (cw, ch) = (x1.saturating_sub(x0), y1.saturating_sub(y0));
+        let mut out = Image::new(cw, ch);
+        for y in 0..ch {
+            for x in 0..cw {
+                out.set(x, y, self.get(x0 + x, y0 + y));
+            }
+        }
+        out
+    }
+
+    /// Mean colour of the image.
+    pub fn mean_rgb(&self) -> [f64; 3] {
+        if self.pixels.is_empty() {
+            return [0.0; 3];
+        }
+        let mut acc = [0f64; 3];
+        for p in &self.pixels {
+            for c in 0..3 {
+                acc[c] += p[c] as f64;
+            }
+        }
+        let n = self.pixels.len() as f64;
+        [acc[0] / n, acc[1] / n, acc[2] / n]
+    }
+
+    /// All pixels, row-major.
+    pub fn pixels(&self) -> &[[u8; 3]] {
+        &self.pixels
+    }
+
+    /// Serialise to a tiny binary blob (the media-server payload format):
+    /// `w:u32 h:u32` followed by raw RGB bytes.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.pixels.len() * 3);
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.height as u32).to_le_bytes());
+        for p in &self.pixels {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Parse a blob produced by [`Image::to_blob`].
+    pub fn from_blob(blob: &[u8]) -> Option<Image> {
+        if blob.len() < 8 {
+            return None;
+        }
+        let w = u32::from_le_bytes(blob[0..4].try_into().ok()?) as usize;
+        let h = u32::from_le_bytes(blob[4..8].try_into().ok()?) as usize;
+        let need = w.checked_mul(h)?.checked_mul(3)?;
+        if blob.len() != 8 + need {
+            return None;
+        }
+        let pixels = blob[8..]
+            .chunks_exact(3)
+            .map(|c| [c[0], c[1], c[2]])
+            .collect();
+        Some(Image { width: w, height: h, pixels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+        img.set(2, 1, [10, 20, 30]);
+        assert_eq!(img.get(2, 1), [10, 20, 30]);
+        img.set(99, 99, [1, 1, 1]); // ignored
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+    }
+
+    #[test]
+    fn luma_weights() {
+        let img = Image::filled(1, 1, [255, 255, 255]);
+        assert!((img.luma(0, 0) - 255.0).abs() < 1e-9);
+        let red = Image::filled(1, 1, [255, 0, 0]);
+        assert!((red.luma(0, 0) - 0.299 * 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crop_clamps() {
+        let mut img = Image::new(4, 4);
+        img.set(3, 3, [9, 9, 9]);
+        let c = img.crop(2, 2, 10, 10);
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.get(1, 1), [9, 9, 9]);
+    }
+
+    #[test]
+    fn mean_rgb_of_uniform_image() {
+        let img = Image::filled(5, 5, [10, 20, 30]);
+        assert_eq!(img.mean_rgb(), [10.0, 20.0, 30.0]);
+        assert_eq!(Image::new(0, 0).mean_rgb(), [0.0; 3]);
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let mut img = Image::new(3, 2);
+        img.set(1, 1, [5, 6, 7]);
+        let blob = img.to_blob();
+        let back = Image::from_blob(&blob).unwrap();
+        assert_eq!(back, img);
+        assert!(Image::from_blob(&blob[..blob.len() - 1]).is_none());
+        assert!(Image::from_blob(&[1, 2, 3]).is_none());
+    }
+}

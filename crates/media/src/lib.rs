@@ -1,0 +1,82 @@
+//! # media — synthetic multimedia corpus and feature extraction
+//!
+//! The Mirror demo's digital library was "images collected by a simple web
+//! robot", segmented and run through two colour-histogram daemons and the
+//! four MeasTex texture reference algorithms. Neither the crawled images
+//! nor MeasTex are available offline, so this crate provides the
+//! substitutions documented in DESIGN.md:
+//!
+//! * [`robot`] — a *corpus simulator*: procedurally generated images whose
+//!   visual content (palettes, oriented textures) is statistically
+//!   correlated with generated text annotations through a set of themes;
+//!   a configurable fraction of images is left un-annotated, which is what
+//!   makes dual-coding retrieval interesting;
+//! * [`image`] — a minimal owned RGB image type;
+//! * [`segment`] — grid and region-growing segmentation;
+//! * [`color`] — the two colour-histogram extractors (RGB cube, HSV);
+//! * [`texture`] — four texture extractors standing in for the MeasTex
+//!   reference implementations: Gabor filter-bank energies, grey-level
+//!   co-occurrence (GLCM) statistics, Tamura coarseness/contrast, and
+//!   edge-density features;
+//! * [`vector`] — the feature-vector type shared with the clustering
+//!   crate.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod color;
+pub mod image;
+pub mod robot;
+pub mod segment;
+pub mod texture;
+pub mod vector;
+
+pub use image::Image;
+pub use robot::{CrawledImage, RobotConfig, Theme, WebRobot};
+pub use segment::{grid_segments, region_grow_segments, Segment};
+pub use vector::FeatureVector;
+
+/// A named feature extractor: the shape every feature daemon wraps.
+pub trait FeatureExtractor: Send + Sync {
+    /// The feature-space name (`rgb`, `hsv`, `gabor`, `glcm`, `tamura`,
+    /// `edge`). Cluster names derive from it (`gabor_21`).
+    fn space(&self) -> &'static str;
+    /// Dimensionality of the produced vectors.
+    fn dims(&self) -> usize;
+    /// Extract a feature vector from an image region.
+    fn extract(&self, image: &Image) -> FeatureVector;
+}
+
+/// All six standard extractors of the demo system (two colour + four
+/// texture, the latter standing in for the MeasTex reference suite).
+pub fn standard_extractors() -> Vec<Box<dyn FeatureExtractor>> {
+    vec![
+        Box::new(color::RgbHistogram::default()),
+        Box::new(color::HsvHistogram::default()),
+        Box::new(texture::GaborBank::default()),
+        Box::new(texture::Glcm::default()),
+        Box::new(texture::Tamura),
+        Box::new(texture::EdgeDensity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_extractor_suite_is_complete() {
+        let ex = standard_extractors();
+        let names: Vec<_> = ex.iter().map(|e| e.space()).collect();
+        assert_eq!(names, vec!["rgb", "hsv", "gabor", "glcm", "tamura", "edge"]);
+    }
+
+    #[test]
+    fn extractors_produce_declared_dims() {
+        let img = Image::filled(16, 16, [100, 150, 200]);
+        for e in standard_extractors() {
+            let v = e.extract(&img);
+            assert_eq!(v.dims(), e.dims(), "{}", e.space());
+            assert!(v.values().iter().all(|x| x.is_finite()), "{}", e.space());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Image segmentation — the first daemon in the ingest pipeline.
+//!
+//! The paper does not name its segmentation algorithm, so we provide two
+//! interchangeable ones that exercise the same downstream pipeline:
+//! a fixed grid (fast, deterministic) and a greedy region-growing merge
+//! over colour similarity (content-adaptive).
+
+use crate::image::Image;
+
+/// A segment: a rectangle of the source image plus its cropped pixels.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Left edge in source coordinates.
+    pub x: usize,
+    /// Top edge in source coordinates.
+    pub y: usize,
+    /// Width in pixels.
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// The cropped pixels.
+    pub image: Image,
+}
+
+/// Split an image into an `n × n` grid of segments.
+pub fn grid_segments(image: &Image, n: usize) -> Vec<Segment> {
+    assert!(n > 0, "grid must have at least one cell");
+    let mut out = Vec::with_capacity(n * n);
+    let (iw, ih) = (image.width(), image.height());
+    if iw == 0 || ih == 0 {
+        return out;
+    }
+    for gy in 0..n {
+        for gx in 0..n {
+            let x0 = gx * iw / n;
+            let y0 = gy * ih / n;
+            let x1 = (gx + 1) * iw / n;
+            let y1 = (gy + 1) * ih / n;
+            if x1 > x0 && y1 > y0 {
+                out.push(Segment {
+                    x: x0,
+                    y: y0,
+                    w: x1 - x0,
+                    h: y1 - y0,
+                    image: image.crop(x0, y0, x1 - x0, y1 - y0),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Region growing: start from a fine grid, greedily merge neighbouring
+/// cells whose mean colours are within `threshold` (Euclidean RGB), and
+/// emit one segment per merged region (bounding box).
+pub fn region_grow_segments(image: &Image, threshold: f64) -> Vec<Segment> {
+    const GRID: usize = 8;
+    let cells = grid_segments(image, GRID);
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let means: Vec<[f64; 3]> = cells.iter().map(|s| s.image.mean_rgb()).collect();
+    // union-find over grid cells
+    let mut parent: Vec<usize> = (0..cells.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let idx = |gx: usize, gy: usize| gy * GRID + gx;
+    let side = (cells.len() as f64).sqrt() as usize;
+    for gy in 0..side {
+        for gx in 0..side {
+            let i = idx(gx, gy);
+            for (nx, ny) in [(gx + 1, gy), (gx, gy + 1)] {
+                if nx < side && ny < side {
+                    let j = idx(nx, ny);
+                    let d = color_dist(means[i], means[j]);
+                    if d <= threshold {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // gather bounding boxes per root
+    let mut boxes: std::collections::HashMap<usize, (usize, usize, usize, usize)> =
+        std::collections::HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let e = boxes.entry(root).or_insert((cell.x, cell.y, cell.x + cell.w, cell.y + cell.h));
+        e.0 = e.0.min(cell.x);
+        e.1 = e.1.min(cell.y);
+        e.2 = e.2.max(cell.x + cell.w);
+        e.3 = e.3.max(cell.y + cell.h);
+    }
+    let mut roots: Vec<_> = boxes.into_iter().collect();
+    roots.sort_by_key(|(root, _)| *root);
+    roots
+        .into_iter()
+        .map(|(_, (x0, y0, x1, y1))| Segment {
+            x: x0,
+            y: y0,
+            w: x1 - x0,
+            h: y1 - y0,
+            image: image.crop(x0, y0, x1 - x0, y1 - y0),
+        })
+        .collect()
+}
+
+fn color_dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_image_exactly() {
+        let img = Image::filled(10, 10, [1, 2, 3]);
+        let segs = grid_segments(&img, 3);
+        assert_eq!(segs.len(), 9);
+        let area: usize = segs.iter().map(|s| s.w * s.h).sum();
+        assert_eq!(area, 100);
+        // no overlap along x for first row
+        assert_eq!(segs[0].x + segs[0].w, segs[1].x);
+    }
+
+    #[test]
+    fn grid_on_tiny_image() {
+        let img = Image::filled(2, 2, [0, 0, 0]);
+        let segs = grid_segments(&img, 4); // more cells than pixels
+        let area: usize = segs.iter().map(|s| s.w * s.h).sum();
+        assert_eq!(area, 4);
+        assert!(grid_segments(&Image::new(0, 0), 2).is_empty());
+    }
+
+    #[test]
+    fn region_grow_merges_uniform_image_to_one_segment() {
+        let img = Image::filled(32, 32, [100, 100, 100]);
+        let segs = region_grow_segments(&img, 10.0);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].w, segs[0].h), (32, 32));
+    }
+
+    #[test]
+    fn region_grow_separates_distinct_halves() {
+        let mut img = Image::filled(32, 32, [255, 0, 0]);
+        for y in 16..32 {
+            for x in 0..32 {
+                img.set(x, y, [0, 0, 255]);
+            }
+        }
+        let segs = region_grow_segments(&img, 30.0);
+        assert!(segs.len() >= 2, "expected ≥2 regions, got {}", segs.len());
+    }
+
+    #[test]
+    fn segments_carry_their_pixels() {
+        let mut img = Image::filled(8, 8, [0, 0, 0]);
+        img.set(7, 7, [9, 9, 9]);
+        let segs = grid_segments(&img, 2);
+        let last = &segs[3];
+        assert_eq!(last.image.get(last.w - 1, last.h - 1), [9, 9, 9]);
+    }
+}

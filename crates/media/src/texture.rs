@@ -1,0 +1,477 @@
+//! Four texture feature extractors — the MeasTex-suite substitution.
+//!
+//! The demo used "the four reference implementations of texture algorithms
+//! provided by the MeasTex framework"; we implement four classical texture
+//! analysers from scratch: a Gabor filter bank, grey-level co-occurrence
+//! matrix statistics, Tamura features, and gradient/edge-density features.
+
+use crate::image::Image;
+use crate::vector::FeatureVector;
+use crate::FeatureExtractor;
+
+/// Gabor filter bank: energies of `orientations × frequencies` Gabor
+/// responses (mean + std of the magnitude per filter).
+#[derive(Debug, Clone)]
+pub struct GaborBank {
+    /// Filter orientations in radians.
+    pub orientations: Vec<f64>,
+    /// Spatial frequencies (cycles per pixel).
+    pub frequencies: Vec<f64>,
+    /// Gaussian envelope sigma.
+    pub sigma: f64,
+    /// Half-size of the kernel window.
+    pub radius: usize,
+}
+
+impl Default for GaborBank {
+    fn default() -> Self {
+        GaborBank {
+            orientations: vec![0.0, 0.785, 1.571, 2.356],
+            frequencies: vec![0.1, 0.3],
+            sigma: 2.0,
+            radius: 3,
+        }
+    }
+}
+
+impl GaborBank {
+    /// Response statistics (mean, std) of one Gabor filter over the image.
+    fn filter_stats(&self, image: &Image, theta: f64, freq: f64) -> (f64, f64) {
+        let r = self.radius as isize;
+        let (sin_t, cos_t) = theta.sin_cos();
+        // precompute the kernel (real part of the Gabor function)
+        let mut kernel = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let xr = dx as f64 * cos_t + dy as f64 * sin_t;
+                let yr = -(dx as f64) * sin_t + dy as f64 * cos_t;
+                let envelope =
+                    (-(xr * xr + yr * yr) / (2.0 * self.sigma * self.sigma)).exp();
+                let carrier = (std::f64::consts::TAU * freq * xr).cos();
+                kernel.push(envelope * carrier);
+            }
+        }
+        // remove the DC component so flat regions produce zero response
+        let dc = kernel.iter().sum::<f64>() / kernel.len() as f64;
+        for k in &mut kernel {
+            *k -= dc;
+        }
+        let (w, h) = (image.width(), image.height());
+        if w == 0 || h == 0 {
+            return (0.0, 0.0);
+        }
+        let mut responses = Vec::new();
+        let step = (w.max(h) / 16).max(1); // sample grid for speed
+        for y in (0..h).step_by(step) {
+            for x in (0..w).step_by(step) {
+                let mut acc = 0.0;
+                let mut ki = 0;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                        let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                        acc += kernel[ki] * image.luma(sx, sy) / 255.0;
+                        ki += 1;
+                    }
+                }
+                responses.push(acc.abs());
+            }
+        }
+        mean_std(&responses)
+    }
+}
+
+impl FeatureExtractor for GaborBank {
+    fn space(&self) -> &'static str {
+        "gabor"
+    }
+
+    fn dims(&self) -> usize {
+        self.orientations.len() * self.frequencies.len() * 2
+    }
+
+    fn extract(&self, image: &Image) -> FeatureVector {
+        let mut out = Vec::with_capacity(self.dims());
+        for &theta in &self.orientations {
+            for &freq in &self.frequencies {
+                let (m, s) = self.filter_stats(image, theta, freq);
+                out.push(m);
+                out.push(s);
+            }
+        }
+        FeatureVector::new(out)
+    }
+}
+
+/// Grey-level co-occurrence matrix statistics at four offsets:
+/// contrast, energy, homogeneity and entropy per offset.
+#[derive(Debug, Clone)]
+pub struct Glcm {
+    /// Grey quantisation levels.
+    pub levels: usize,
+}
+
+impl Default for Glcm {
+    fn default() -> Self {
+        Glcm { levels: 8 }
+    }
+}
+
+impl Glcm {
+    fn stats_for_offset(&self, image: &Image, dx: isize, dy: isize) -> [f64; 4] {
+        let l = self.levels;
+        let mut mat = vec![0f64; l * l];
+        let (w, h) = (image.width() as isize, image.height() as isize);
+        let mut total = 0f64;
+        for y in 0..h {
+            for x in 0..w {
+                let (nx, ny) = (x + dx, y + dy);
+                if nx < 0 || ny < 0 || nx >= w || ny >= h {
+                    continue;
+                }
+                let a = (image.luma(x as usize, y as usize) / 256.0 * l as f64) as usize;
+                let b = (image.luma(nx as usize, ny as usize) / 256.0 * l as f64) as usize;
+                mat[a.min(l - 1) * l + b.min(l - 1)] += 1.0;
+                total += 1.0;
+            }
+        }
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        let mut contrast = 0.0;
+        let mut energy = 0.0;
+        let mut homogeneity = 0.0;
+        let mut entropy = 0.0;
+        for i in 0..l {
+            for j in 0..l {
+                let p = mat[i * l + j] / total;
+                if p == 0.0 {
+                    continue;
+                }
+                let d = i as f64 - j as f64;
+                contrast += d * d * p;
+                energy += p * p;
+                homogeneity += p / (1.0 + d.abs());
+                entropy -= p * p.ln();
+            }
+        }
+        [contrast, energy, homogeneity, entropy]
+    }
+}
+
+impl FeatureExtractor for Glcm {
+    fn space(&self) -> &'static str {
+        "glcm"
+    }
+
+    fn dims(&self) -> usize {
+        16 // 4 offsets × 4 statistics
+    }
+
+    fn extract(&self, image: &Image) -> FeatureVector {
+        let offsets = [(1, 0), (0, 1), (1, 1), (1, -1)];
+        let mut out = Vec::with_capacity(16);
+        for (dx, dy) in offsets {
+            out.extend_from_slice(&self.stats_for_offset(image, dx, dy));
+        }
+        FeatureVector::new(out)
+    }
+}
+
+/// Tamura features: coarseness, contrast, and directionality.
+#[derive(Debug, Clone, Copy)]
+pub struct Tamura;
+
+impl FeatureExtractor for Tamura {
+    fn space(&self) -> &'static str {
+        "tamura"
+    }
+
+    fn dims(&self) -> usize {
+        3
+    }
+
+    fn extract(&self, image: &Image) -> FeatureVector {
+        FeatureVector::new(vec![
+            coarseness(image),
+            tamura_contrast(image),
+            directionality(image),
+        ])
+    }
+}
+
+/// Tamura coarseness: the average best window size (powers of two) at
+/// which local mean differences peak.
+fn coarseness(image: &Image) -> f64 {
+    let (w, h) = (image.width(), image.height());
+    if w < 4 || h < 4 {
+        return 0.0;
+    }
+    let step = (w.max(h) / 16).max(1);
+    let mut total = 0.0;
+    let mut count = 0.0;
+    for y in (2..h - 2).step_by(step) {
+        for x in (2..w - 2).step_by(step) {
+            let mut best_k = 0usize;
+            let mut best_e = -1.0;
+            for k in 0..3usize {
+                let half = 1usize << k;
+                if x < half * 2 || y < half * 2 || x + half * 2 >= w || y + half * 2 >= h {
+                    break;
+                }
+                let left = window_mean(image, x - 2 * half, y - half, half);
+                let right = window_mean(image, x, y - half, half);
+                let up = window_mean(image, x - half, y - 2 * half, half);
+                let down = window_mean(image, x - half, y, half);
+                let e = (left - right).abs().max((up - down).abs());
+                if e > best_e {
+                    best_e = e;
+                    best_k = k;
+                }
+            }
+            total += (1usize << best_k) as f64;
+            count += 1.0;
+        }
+    }
+    if count == 0.0 {
+        0.0
+    } else {
+        total / count
+    }
+}
+
+fn window_mean(image: &Image, x0: usize, y0: usize, size: usize) -> f64 {
+    let size = size.max(1);
+    let mut acc = 0.0;
+    let mut n = 0.0;
+    for y in y0..(y0 + 2 * size).min(image.height()) {
+        for x in x0..(x0 + 2 * size).min(image.width()) {
+            acc += image.luma(x, y);
+            n += 1.0;
+        }
+    }
+    if n == 0.0 {
+        0.0
+    } else {
+        acc / n
+    }
+}
+
+/// Tamura contrast: σ / kurtosis^(1/4) of the luminance distribution.
+fn tamura_contrast(image: &Image) -> f64 {
+    let lumas: Vec<f64> = (0..image.height())
+        .flat_map(|y| (0..image.width()).map(move |x| (x, y)))
+        .map(|(x, y)| image.luma(x, y))
+        .collect();
+    if lumas.is_empty() {
+        return 0.0;
+    }
+    let (mean, std) = mean_std(&lumas);
+    if std == 0.0 {
+        return 0.0;
+    }
+    let n = lumas.len() as f64;
+    let m4: f64 = lumas.iter().map(|l| (l - mean).powi(4)).sum::<f64>() / n;
+    let kurtosis = m4 / std.powi(4);
+    if kurtosis <= 0.0 {
+        0.0
+    } else {
+        std / kurtosis.powf(0.25)
+    }
+}
+
+/// Tamura directionality: peakedness of the gradient-direction histogram.
+fn directionality(image: &Image) -> f64 {
+    let (w, h) = (image.width(), image.height());
+    if w < 3 || h < 3 {
+        return 0.0;
+    }
+    const BINS: usize = 16;
+    let mut hist = [0f64; BINS];
+    let mut total = 0f64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let gx = image.luma(x + 1, y) - image.luma(x - 1, y);
+            let gy = image.luma(x, y + 1) - image.luma(x, y - 1);
+            let mag = (gx * gx + gy * gy).sqrt();
+            if mag < 8.0 {
+                continue; // flat region, no direction
+            }
+            let angle = gy.atan2(gx).rem_euclid(std::f64::consts::PI);
+            let bin = ((angle / std::f64::consts::PI) * BINS as f64) as usize % BINS;
+            hist[bin] += mag;
+            total += mag;
+        }
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    // peakedness = sum of squared normalised bin masses (1/BINS … 1)
+    hist.iter().map(|&v| (v / total) * (v / total)).sum()
+}
+
+/// Edge-density features via Sobel gradients: density of strong edges,
+/// mean gradient magnitude, and horizontal/vertical edge ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeDensity;
+
+impl FeatureExtractor for EdgeDensity {
+    fn space(&self) -> &'static str {
+        "edge"
+    }
+
+    fn dims(&self) -> usize {
+        3
+    }
+
+    fn extract(&self, image: &Image) -> FeatureVector {
+        let (w, h) = (image.width(), image.height());
+        if w < 3 || h < 3 {
+            return FeatureVector::new(vec![0.0, 0.0, 0.5]);
+        }
+        let mut strong = 0f64;
+        let mut total_mag = 0f64;
+        let mut horiz = 0f64;
+        let mut vert = 0f64;
+        let mut n = 0f64;
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let gx = image.luma(x + 1, y - 1) + 2.0 * image.luma(x + 1, y)
+                    + image.luma(x + 1, y + 1)
+                    - image.luma(x - 1, y - 1)
+                    - 2.0 * image.luma(x - 1, y)
+                    - image.luma(x - 1, y + 1);
+                let gy = image.luma(x - 1, y + 1) + 2.0 * image.luma(x, y + 1)
+                    + image.luma(x + 1, y + 1)
+                    - image.luma(x - 1, y - 1)
+                    - 2.0 * image.luma(x, y - 1)
+                    - image.luma(x + 1, y - 1);
+                let mag = (gx * gx + gy * gy).sqrt();
+                total_mag += mag;
+                if mag > 128.0 {
+                    strong += 1.0;
+                }
+                horiz += gx.abs();
+                vert += gy.abs();
+                n += 1.0;
+            }
+        }
+        let ratio = if horiz + vert == 0.0 { 0.5 } else { horiz / (horiz + vert) };
+        FeatureVector::new(vec![strong / n, total_mag / (n * 1020.0), ratio])
+    }
+}
+
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A vertical sinusoidal grating with the given frequency.
+    fn grating(freq: f64, vertical: bool) -> Image {
+        let mut img = Image::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                let u = if vertical { x as f64 } else { y as f64 };
+                let v = ((std::f64::consts::TAU * freq * u).sin() * 100.0 + 128.0) as u8;
+                img.set(x, y, [v, v, v]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn gabor_distinguishes_orientations() {
+        let g = GaborBank::default();
+        let vert = g.extract(&grating(0.3, true));
+        let horiz = g.extract(&grating(0.3, false));
+        assert!(vert.distance(&horiz) > 1e-3, "distance {}", vert.distance(&horiz));
+    }
+
+    #[test]
+    fn gabor_flat_image_low_energy() {
+        let g = GaborBank::default();
+        let flat = g.extract(&Image::filled(32, 32, [128, 128, 128]));
+        let textured = g.extract(&grating(0.3, true));
+        let flat_e: f64 = flat.values().iter().sum();
+        let tex_e: f64 = textured.values().iter().sum();
+        assert!(tex_e > flat_e * 2.0, "{tex_e} vs {flat_e}");
+    }
+
+    #[test]
+    fn glcm_contrast_higher_for_high_frequency() {
+        let g = Glcm::default();
+        let fine = g.extract(&grating(0.45, true));
+        let coarse = g.extract(&grating(0.05, true));
+        // contrast of the (1,0) offset is dimension 0
+        assert!(fine.values()[0] > coarse.values()[0]);
+    }
+
+    #[test]
+    fn glcm_energy_max_for_uniform() {
+        let g = Glcm::default();
+        let flat = g.extract(&Image::filled(16, 16, [60, 60, 60]));
+        // uniform image: all co-occurrences in one cell → energy 1
+        assert!((flat.values()[1] - 1.0).abs() < 1e-9);
+        assert_eq!(flat.values()[0], 0.0); // zero contrast
+    }
+
+    #[test]
+    fn tamura_contrast_orders_images() {
+        let t = Tamura;
+        let flat = t.extract(&Image::filled(32, 32, [128, 128, 128]));
+        let tex = t.extract(&grating(0.2, true));
+        assert!(tex.values()[1] > flat.values()[1]);
+    }
+
+    #[test]
+    fn directionality_peaks_for_gratings() {
+        let t = Tamura;
+        let grate = t.extract(&grating(0.2, true));
+        // random-ish blob image has low directionality
+        let mut noisy = Image::new(32, 32);
+        let mut state = 12345u64;
+        for y in 0..32 {
+            for x in 0..32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = (state >> 33) as u8;
+                noisy.set(x, y, [v, v, v]);
+            }
+        }
+        let rnd = t.extract(&noisy);
+        assert!(grate.values()[2] > rnd.values()[2]);
+    }
+
+    #[test]
+    fn edge_density_detects_edges() {
+        let e = EdgeDensity;
+        let flat = e.extract(&Image::filled(16, 16, [10, 10, 10]));
+        assert_eq!(flat.values()[0], 0.0);
+        let mut img = Image::filled(16, 16, [0, 0, 0]);
+        for y in 0..16 {
+            for x in 8..16 {
+                img.set(x, y, [255, 255, 255]);
+            }
+        }
+        let edged = e.extract(&img);
+        assert!(edged.values()[0] > 0.0);
+        // vertical boundary → horizontal gradient dominates
+        assert!(edged.values()[2] > 0.9);
+    }
+
+    #[test]
+    fn tiny_images_do_not_panic() {
+        for e in crate::standard_extractors() {
+            let v = e.extract(&Image::filled(2, 2, [5, 5, 5]));
+            assert_eq!(v.dims(), e.dims());
+        }
+    }
+}

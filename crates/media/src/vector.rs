@@ -1,0 +1,115 @@
+//! Feature vectors.
+
+/// A dense feature vector in one feature space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Wrap raw values.
+    pub fn new(values: Vec<f64>) -> FeatureVector {
+        FeatureVector { values }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume into the raw values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Euclidean distance to another vector (must have equal dims).
+    pub fn distance(&self, other: &FeatureVector) -> f64 {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// L1-normalise in place (histograms sum to 1; zero vectors stay zero).
+    pub fn normalize_l1(&mut self) {
+        let s: f64 = self.values.iter().map(|v| v.abs()).sum();
+        if s > 0.0 {
+            for v in &mut self.values {
+                *v /= s;
+            }
+        }
+    }
+
+    /// Serialise as a compact string reference (`v:0.1,0.2,…`) — the form
+    /// stored in `Atomic<Vector>` columns.
+    pub fn to_ref(&self) -> String {
+        let mut s = String::from("v:");
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{v:.6}"));
+        }
+        s
+    }
+
+    /// Parse a reference produced by [`FeatureVector::to_ref`].
+    pub fn from_ref(s: &str) -> Option<FeatureVector> {
+        let body = s.strip_prefix("v:")?;
+        if body.is_empty() {
+            return Some(FeatureVector::new(Vec::new()));
+        }
+        let values: Option<Vec<f64>> =
+            body.split(',').map(|p| p.parse::<f64>().ok()).collect();
+        Some(FeatureVector::new(values?))
+    }
+}
+
+impl From<Vec<f64>> for FeatureVector {
+    fn from(values: Vec<f64>) -> Self {
+        FeatureVector::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_dims() {
+        let a = FeatureVector::new(vec![0.0, 0.0]);
+        let b = FeatureVector::new(vec![3.0, 4.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.dims(), 2);
+    }
+
+    #[test]
+    fn l1_normalisation() {
+        let mut v = FeatureVector::new(vec![1.0, 3.0]);
+        v.normalize_l1();
+        assert_eq!(v.values(), &[0.25, 0.75]);
+        let mut z = FeatureVector::new(vec![0.0, 0.0]);
+        z.normalize_l1();
+        assert_eq!(z.values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn ref_roundtrip() {
+        let v = FeatureVector::new(vec![0.125, -2.5]);
+        let r = v.to_ref();
+        assert!(r.starts_with("v:"));
+        let back = FeatureVector::from_ref(&r).unwrap();
+        assert!((back.values()[0] - 0.125).abs() < 1e-6);
+        assert!((back.values()[1] + 2.5).abs() < 1e-6);
+        assert!(FeatureVector::from_ref("nope").is_none());
+        assert_eq!(FeatureVector::from_ref("v:").unwrap().dims(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The Moa expression AST.
+//!
+//! Expressions cover the paper's query surface: structural `map`/`select`
+//! pipelines over collections, attribute access through `THIS`, calls to
+//! kernel aggregates and to extension-structure methods (`getBL`), plus
+//! comparison and arithmetic for predicates.
+
+use std::fmt;
+
+/// Comparison operators in selection predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators inside map bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A literal value in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// A Moa expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A named collection or bound variable (`query`, `stats`).
+    Ident(String),
+    /// The element bound by the innermost enclosing `map`/`select`.
+    This,
+    /// Attribute access: `e.field`.
+    Attr(Box<Expr>, String),
+    /// `map[body](input)`.
+    Map {
+        /// The per-element body.
+        body: Box<Expr>,
+        /// The input set expression.
+        input: Box<Expr>,
+    },
+    /// `select[pred](input)`.
+    Select {
+        /// The boolean predicate over `THIS`.
+        pred: Box<Expr>,
+        /// The input set expression.
+        input: Box<Expr>,
+    },
+    /// Function call: aggregates (`sum`, `count`, …), structure methods
+    /// (`getBL`), or top-level helpers (`topk`).
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Comparison (predicate position).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Boolean conjunction of predicates.
+    And(Box<Expr>, Box<Expr>),
+    /// Boolean disjunction of predicates.
+    Or(Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithKind,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Literal.
+    Lit(Lit),
+}
+
+impl Expr {
+    /// Convenience constructor: `map[body](input)`.
+    pub fn map(body: Expr, input: Expr) -> Expr {
+        Expr::Map { body: Box::new(body), input: Box::new(input) }
+    }
+
+    /// Convenience constructor: `select[pred](input)`.
+    pub fn select(pred: Expr, input: Expr) -> Expr {
+        Expr::Select { pred: Box::new(pred), input: Box::new(input) }
+    }
+
+    /// Convenience constructor: a call.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call { name: name.to_string(), args }
+    }
+
+    /// Convenience constructor: `THIS.field`.
+    pub fn this_attr(field: &str) -> Expr {
+        Expr::Attr(Box::new(Expr::This), field.to_string())
+    }
+
+    /// All attribute names reached from `THIS` in this expression —
+    /// used by the rewriter to decide whether a predicate can be pushed
+    /// below a `map`.
+    pub fn this_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_this_attrs(&mut out);
+        out
+    }
+
+    fn collect_this_attrs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Attr(base, name) => {
+                if matches!(**base, Expr::This) {
+                    out.push(name.clone());
+                } else {
+                    base.collect_this_attrs(out);
+                }
+            }
+            Expr::Map { body, input } => {
+                body.collect_this_attrs(out);
+                input.collect_this_attrs(out);
+            }
+            Expr::Select { pred, input } => {
+                pred.collect_this_attrs(out);
+                input.collect_this_attrs(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_this_attrs(out);
+                }
+            }
+            Expr::Cmp { left, right, .. } | Expr::And(left, right) | Expr::Or(left, right) => {
+                left.collect_this_attrs(out);
+                right.collect_this_attrs(out);
+            }
+            Expr::Arith { left, right, .. } => {
+                left.collect_this_attrs(out);
+                right.collect_this_attrs(out);
+            }
+            Expr::Ident(_) | Expr::This | Expr::Lit(_) => {}
+        }
+    }
+
+    /// True if the expression mentions bare `THIS` (not through an
+    /// attribute), e.g. `sum(THIS)`.
+    pub fn uses_bare_this(&self) -> bool {
+        match self {
+            Expr::This => true,
+            Expr::Attr(base, _) => !matches!(**base, Expr::This) && base.uses_bare_this(),
+            Expr::Map { body, input } => body.uses_bare_this() || input.uses_bare_this(),
+            Expr::Select { pred, input } => pred.uses_bare_this() || input.uses_bare_this(),
+            Expr::Call { args, .. } => args.iter().any(Expr::uses_bare_this),
+            Expr::Cmp { left, right, .. } | Expr::And(left, right) | Expr::Or(left, right) => {
+                left.uses_bare_this() || right.uses_bare_this()
+            }
+            Expr::Arith { left, right, .. } => left.uses_bare_this() || right.uses_bare_this(),
+            Expr::Ident(_) | Expr::Lit(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Ident(n) => f.write_str(n),
+            Expr::This => f.write_str("THIS"),
+            Expr::Attr(e, n) => write!(f, "{e}.{n}"),
+            Expr::Map { body, input } => write!(f, "map[{body}]({input})"),
+            Expr::Select { pred, input } => write!(f, "select[{pred}]({input})"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Cmp { op, left, right } => write!(f, "{left} {op} {right}"),
+            Expr::And(l, r) => write!(f, "({l} and {r})"),
+            Expr::Or(l, r) => write!(f, "({l} or {r})"),
+            Expr::Arith { op, left, right } => {
+                let s = match op {
+                    ArithKind::Add => "+",
+                    ArithKind::Sub => "-",
+                    ArithKind::Mul => "*",
+                    ArithKind::Div => "/",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::Lit(Lit::Int(i)) => write!(f, "{i}"),
+            Expr::Lit(Lit::Float(x)) => write!(f, "{x}"),
+            Expr::Lit(Lit::Str(s)) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_paper_query() {
+        // map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))
+        let q = Expr::map(
+            Expr::call("sum", vec![Expr::This]),
+            Expr::map(
+                Expr::call(
+                    "getBL",
+                    vec![
+                        Expr::this_attr("annotation"),
+                        Expr::Ident("query".into()),
+                        Expr::Ident("stats".into()),
+                    ],
+                ),
+                Expr::Ident("Lib".into()),
+            ),
+        );
+        assert_eq!(
+            q.to_string(),
+            "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))"
+        );
+    }
+
+    #[test]
+    fn this_attrs_collects_paths() {
+        let pred = Expr::And(
+            Box::new(Expr::Cmp {
+                op: CmpOp::Gt,
+                left: Box::new(Expr::this_attr("score")),
+                right: Box::new(Expr::Lit(Lit::Float(0.5))),
+            }),
+            Box::new(Expr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(Expr::this_attr("source")),
+                right: Box::new(Expr::Lit(Lit::Str("x".into()))),
+            }),
+        );
+        let mut attrs = pred.this_attrs();
+        attrs.sort();
+        assert_eq!(attrs, vec!["score".to_string(), "source".to_string()]);
+    }
+
+    #[test]
+    fn bare_this_detection() {
+        assert!(Expr::call("sum", vec![Expr::This]).uses_bare_this());
+        assert!(!Expr::this_attr("x").uses_bare_this());
+    }
+}

@@ -1,0 +1,602 @@
+//! Parser for the Moa surface syntax used throughout the paper:
+//!
+//! ```text
+//! define TraditionalImgLib as
+//!   SET< TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation >>;
+//!
+//! map[sum(THIS)](
+//!   map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));
+//! ```
+//!
+//! A hand-written lexer and recursive-descent parser; schema definitions
+//! and query expressions have separate entry points so `<`/`>` can serve
+//! as type brackets in one and comparisons in the other.
+
+use crate::expr::{ArithKind, CmpOp, Expr, Lit};
+use crate::types::{AtomicType, MoaType};
+use crate::{MoaError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LAngle,
+    RAngle,
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    Comma,
+    Colon,
+    Semi,
+    Dot,
+    Eq,
+    Ne,
+    Le,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::LAngle);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::RAngle);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(MoaError::Parse("lone '!'".into()));
+                }
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBrack);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBrack);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != quote {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err(MoaError::Parse("unterminated string literal".into()));
+                }
+                i += 1; // closing quote
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    // stop if the dot begins an attribute access like `1.x` — not valid anyway
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| MoaError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Tok::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| MoaError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Tok::Int(v));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            other => return Err(MoaError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| MoaError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<()> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(MoaError::Parse(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(MoaError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- types ----
+
+    fn ty(&mut self) -> Result<MoaType> {
+        let head = self.ident()?;
+        match head.as_str() {
+            "SET" => {
+                self.expect(&Tok::LAngle)?;
+                let inner = self.ty()?;
+                self.expect(&Tok::RAngle)?;
+                Ok(MoaType::Set(Box::new(inner)))
+            }
+            "LIST" => {
+                self.expect(&Tok::LAngle)?;
+                let inner = self.ty()?;
+                self.expect(&Tok::RAngle)?;
+                Ok(MoaType::List(Box::new(inner)))
+            }
+            "TUPLE" => {
+                self.expect(&Tok::LAngle)?;
+                let mut fields = Vec::new();
+                loop {
+                    let fty = self.ty()?;
+                    self.expect(&Tok::Colon)?;
+                    let name = self.ident()?;
+                    fields.push((name, fty));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RAngle)?;
+                Ok(MoaType::Tuple(fields))
+            }
+            "Atomic" => {
+                self.expect(&Tok::LAngle)?;
+                let name = self.ident()?;
+                self.expect(&Tok::RAngle)?;
+                Ok(MoaType::Atomic(AtomicType::parse(&name)?))
+            }
+            ext => {
+                // extension structure, e.g. CONTREP<Text>
+                if self.eat(&Tok::LAngle) {
+                    // Allow both CONTREP<Text> (bare atom) and CONTREP<Atomic<Text>>.
+                    let param = if let Some(Tok::Ident(n)) = self.peek() {
+                        let n = n.clone();
+                        if matches!(n.as_str(), "SET" | "LIST" | "TUPLE" | "Atomic") {
+                            self.ty()?
+                        } else if let Ok(atom) = AtomicType::parse(&n) {
+                            self.pos += 1;
+                            MoaType::Atomic(atom)
+                        } else {
+                            self.ty()?
+                        }
+                    } else {
+                        return Err(MoaError::Parse("expected type parameter".into()));
+                    };
+                    self.expect(&Tok::RAngle)?;
+                    Ok(MoaType::Ext { name: ext.to_string(), param: Box::new(param) })
+                } else if let Ok(atom) = AtomicType::parse(ext) {
+                    // bare base type like `int`
+                    Ok(MoaType::Atomic(atom))
+                } else {
+                    Err(MoaError::Parse(format!("unknown type '{ext}'")))
+                }
+            }
+        }
+    }
+
+    // ---- expressions ----
+    // precedence: or < and < cmp < add/sub < mul/div < postfix(.attr) < primary
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while let Some(Tok::Ident(s)) = self.peek() {
+            if s == "or" {
+                self.pos += 1;
+                let right = self.and_expr()?;
+                left = Expr::Or(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.cmp_expr()?;
+        while let Some(Tok::Ident(s)) = self.peek() {
+            if s == "and" {
+                self.pos += 1;
+                let right = self.cmp_expr()?;
+                left = Expr::And(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::LAngle) => Some(CmpOp::Lt),
+            Some(Tok::RAngle) => Some(CmpOp::Gt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(Expr::Cmp { op, left: Box::new(left), right: Box::new(right) })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithKind::Add,
+                Some(Tok::Minus) => ArithKind::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.postfix_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithKind::Mul,
+                Some(Tok::Slash) => ArithKind::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.postfix_expr()?;
+            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Dot) {
+            let name = self.ident()?;
+            e = Expr::Attr(Box::new(e), name);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Int(i) => Ok(Expr::Lit(Lit::Int(i))),
+            Tok::Float(x) => Ok(Expr::Lit(Lit::Float(x))),
+            Tok::Str(s) => Ok(Expr::Lit(Lit::Str(s))),
+            Tok::Ident(name) => match name.as_str() {
+                "THIS" => Ok(Expr::This),
+                "map" | "select" => {
+                    self.expect(&Tok::LBrack)?;
+                    let bracketed = self.expr()?;
+                    self.expect(&Tok::RBrack)?;
+                    self.expect(&Tok::LParen)?;
+                    let input = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    if name == "map" {
+                        Ok(Expr::map(bracketed, input))
+                    } else {
+                        Ok(Expr::select(bracketed, input))
+                    }
+                }
+                _ => {
+                    if self.eat(&Tok::LParen) {
+                        let mut args = Vec::new();
+                        if !self.eat(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&Tok::RParen)?;
+                        }
+                        Ok(Expr::Call { name, args })
+                    } else {
+                        Ok(Expr::Ident(name))
+                    }
+                }
+            },
+            other => Err(MoaError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse a type expression, e.g. `SET<TUPLE<Atomic<URL>: source>>`.
+pub fn parse_type(src: &str) -> Result<MoaType> {
+    let mut p = P { toks: lex(src)?, pos: 0 };
+    let t = p.ty()?;
+    p.eat(&Tok::Semi);
+    if p.pos != p.toks.len() {
+        return Err(MoaError::Parse("trailing input after type".into()));
+    }
+    Ok(t)
+}
+
+/// Parse a schema definition: `define Name as TYPE;` → `(name, type)`.
+pub fn parse_define(src: &str) -> Result<(String, MoaType)> {
+    let mut p = P { toks: lex(src)?, pos: 0 };
+    match p.next()? {
+        Tok::Ident(kw) if kw == "define" => {}
+        other => return Err(MoaError::Parse(format!("expected 'define', found {other:?}"))),
+    }
+    let name = p.ident()?;
+    match p.next()? {
+        Tok::Ident(kw) if kw == "as" => {}
+        other => return Err(MoaError::Parse(format!("expected 'as', found {other:?}"))),
+    }
+    let ty = p.ty()?;
+    p.eat(&Tok::Semi);
+    if p.pos != p.toks.len() {
+        return Err(MoaError::Parse("trailing input after definition".into()));
+    }
+    Ok((name, ty))
+}
+
+/// Parse a query expression.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let mut p = P { toks: lex(src)?, pos: 0 };
+    let e = p.expr()?;
+    p.eat(&Tok::Semi);
+    if p.pos != p.toks.len() {
+        return Err(MoaError::Parse(format!(
+            "trailing input after expression at token {}",
+            p.pos
+        )));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Lit;
+
+    #[test]
+    fn parse_paper_schema() {
+        let (name, ty) = parse_define(
+            "define TraditionalImgLib as
+               SET<
+                 TUPLE<
+                   Atomic<URL>: source,
+                   CONTREP<Text>: annotation
+               >>;",
+        )
+        .unwrap();
+        assert_eq!(name, "TraditionalImgLib");
+        let elem = ty.elem().unwrap();
+        assert_eq!(elem.field("source"), Some(&MoaType::Atomic(AtomicType::Url)));
+        match elem.field("annotation").unwrap() {
+            MoaType::Ext { name, param } => {
+                assert_eq!(name, "CONTREP");
+                assert_eq!(**param, MoaType::Atomic(AtomicType::Text));
+            }
+            other => panic!("expected CONTREP, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_image_library_schema() {
+        let (_, ty) = parse_define(
+            "define ImageLibrary as
+               SET< TUPLE<
+                 Atomic<URL>: source,
+                 Atomic<Text>: annotation,
+                 Atomic<Image>: image >>;",
+        )
+        .unwrap();
+        assert_eq!(ty.elem().unwrap().fields().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_nested_segment_schema() {
+        let (_, ty) = parse_define(
+            "define Internal as SET< TUPLE<
+                Atomic<URL>: source,
+                CONTREP<Text>: annotation,
+                SET< TUPLE< Atomic<Image>: segment,
+                            Atomic<Vector>: RGB,
+                            Atomic<Vector>: Gabor > >: image_segments >>;",
+        )
+        .unwrap();
+        let segs = ty.elem().unwrap().field("image_segments").unwrap();
+        assert!(matches!(segs, MoaType::Set(_)));
+        assert_eq!(segs.elem().unwrap().fields().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_paper_query() {
+        let q = parse_expr(
+            "map[sum(THIS)](
+               map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));",
+        )
+        .unwrap();
+        assert_eq!(
+            q.to_string(),
+            "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](TraditionalImgLib))"
+        );
+    }
+
+    #[test]
+    fn parse_select_with_predicate() {
+        let q = parse_expr(
+            "select[THIS.score >= 0.5 and THIS.source != \"x\"](Lib)",
+        )
+        .unwrap();
+        match &q {
+            Expr::Select { pred, .. } => assert!(matches!(**pred, Expr::And(_, _))),
+            other => panic!("expected select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let q = parse_expr("map[THIS.a + THIS.b * 2](Lib)").unwrap();
+        // must parse as a + (b * 2)
+        assert_eq!(q.to_string(), "map[(THIS.a + (THIS.b * 2))](Lib)");
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::Lit(Lit::Int(42)));
+        assert_eq!(parse_expr("0.5").unwrap(), Expr::Lit(Lit::Float(0.5)));
+        assert_eq!(parse_expr("'hi'").unwrap(), Expr::Lit(Lit::Str("hi".into())));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_expr("map[").is_err());
+        assert!(parse_expr("select[x](").is_err());
+        assert!(parse_define("define X SET<int>").is_err());
+        assert!(parse_type("WIBBLE").is_err());
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("a ! b").is_err());
+    }
+
+    #[test]
+    fn parse_bare_base_types() {
+        assert_eq!(parse_type("int").unwrap(), MoaType::Atomic(AtomicType::Int));
+        assert_eq!(
+            parse_type("SET<float>").unwrap(),
+            MoaType::Set(Box::new(MoaType::Atomic(AtomicType::Float)))
+        );
+    }
+
+    #[test]
+    fn parse_topk_helper_call() {
+        let q = parse_expr("topk(map[THIS.score](Lib), 10)").unwrap();
+        match q {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "topk");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Algebraic rewriting.
+//!
+//! The paper argues that translating the logical object model to a
+//! different physical model "provides an excellent basis for algebraic
+//! query optimization". This module implements the optimisations that the
+//! E2 ablation toggles:
+//!
+//! * **selection pushdown** (logical): `select[p](map[f](X))` →
+//!   `map[f](select[p](X))` whenever the predicate only mentions
+//!   attributes of `X`'s rows — crucial for the IR/data integration
+//!   queries, because it makes ranking operate on the surviving documents
+//!   only;
+//! * **peephole plan rewrites** (physical): cancel `reverse∘reverse`,
+//!   collapse `slice∘sort` into `topn`, fuse constant arithmetic chains,
+//!   deduplicate idempotent semijoins;
+//! * **CSE memoisation** is implemented by the kernel executor and toggled
+//!   through [`OptConfig::memoize`].
+
+use crate::expr::Expr;
+use crate::Env;
+use monet::{ArithOp, Plan};
+
+/// Optimiser switches (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Push `select` below `map` at the logical level.
+    pub pushdown: bool,
+    /// Run peephole rewrites on physical plans.
+    pub peephole: bool,
+    /// Memoise common subexpressions during execution.
+    pub memoize: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig { pushdown: true, peephole: true, memoize: true }
+    }
+}
+
+impl OptConfig {
+    /// Everything off — the unoptimised baseline for the ablation.
+    pub fn none() -> Self {
+        OptConfig { pushdown: false, peephole: false, memoize: false }
+    }
+}
+
+/// Apply logical rewrites to an expression.
+pub fn rewrite_logical(expr: &Expr, env: &Env, cfg: OptConfig) -> Expr {
+    if !cfg.pushdown {
+        return expr.clone();
+    }
+    push_selections(expr, env)
+}
+
+/// `select[p](map[f](X))` → `map[f](select[p](X))` when `p` only touches
+/// row attributes of the mapped collection.
+fn push_selections(expr: &Expr, env: &Env) -> Expr {
+    match expr {
+        Expr::Select { pred, input } => {
+            let input = push_selections(input, env);
+            let pred = (**pred).clone();
+            if let Expr::Map { body, input: map_in } = &input {
+                if let Some(coll) = collection_of(map_in) {
+                    if pred_touches_only_row_attrs(&pred, &coll, env) {
+                        let pushed = Expr::select(pred, (**map_in).clone());
+                        return Expr::map((**body).clone(), push_selections(&pushed, env));
+                    }
+                }
+            }
+            Expr::Select { pred: Box::new(pred), input: Box::new(input) }
+        }
+        Expr::Map { body, input } => Expr::Map {
+            body: Box::new(push_selections(body, env)),
+            input: Box::new(push_selections(input, env)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| push_selections(a, env)).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// The collection a pipeline input ultimately ranges over, if statically
+/// known (`Ident` or nested `select`/`map` over one).
+fn collection_of(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Ident(name) => Some(name.clone()),
+        Expr::Select { input, .. } | Expr::Map { input, .. } => collection_of(input),
+        _ => None,
+    }
+}
+
+fn pred_touches_only_row_attrs(pred: &Expr, coll: &str, env: &Env) -> bool {
+    let Ok(elem) = env.elem_type(coll) else { return false };
+    if pred.uses_bare_this() {
+        return false; // predicate over the mapped value, not the row
+    }
+    let attrs = pred.this_attrs();
+    !attrs.is_empty() && attrs.iter().all(|a| elem.field(a).is_some())
+}
+
+/// Apply peephole rewrites to a physical plan, bottom-up, to fixpoint
+/// (bounded by plan depth).
+pub fn rewrite_physical(plan: &Plan, cfg: OptConfig) -> Plan {
+    if !cfg.peephole {
+        return plan.clone();
+    }
+    let mut current = plan.clone();
+    for _ in 0..8 {
+        let next = peephole(&current);
+        if next.fingerprint() == current.fingerprint() {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn peephole(plan: &Plan) -> Plan {
+    // rewrite children first
+    let node = map_children(plan, &|c| peephole(c));
+    match node {
+        // reverse(reverse(x)) = x
+        Plan::Reverse(inner) => match *inner {
+            Plan::Reverse(x) => *x,
+            other => Plan::Reverse(Box::new(other)),
+        },
+        // mirror(mirror(x)) = mirror(x)
+        Plan::Mirror(inner) => match *inner {
+            Plan::Mirror(x) => Plan::Mirror(x),
+            other => Plan::Mirror(Box::new(other)),
+        },
+        // slice(sort(x), 0, k) = topn(x, k)
+        Plan::Slice { input, lo: 0, hi } => match *input {
+            Plan::SortTail { input: x, desc } => Plan::TopN { input: x, k: hi, desc },
+            other => Plan::Slice { input: Box::new(other), lo: 0, hi },
+        },
+        // topn(sort(x)) = topn(x) with matching direction
+        Plan::TopN { input, k, desc } => match *input {
+            Plan::SortTail { input: x, desc: d2 } if d2 == desc => {
+                Plan::TopN { input: x, k, desc }
+            }
+            other => Plan::TopN { input: Box::new(other), k, desc },
+        },
+        // fold (x ∘ c1) ∘ c2 for matching associative ops
+        Plan::ArithConst { input, op, val } => match (*input, op) {
+            (Plan::ArithConst { input: x, op: op2, val: v2 }, op1)
+                if op1 == op2 && matches!(op1, ArithOp::Add | ArithOp::Mul) =>
+            {
+                let a = val.as_float().unwrap_or(0.0);
+                let b = v2.as_float().unwrap_or(0.0);
+                let folded = match op1 {
+                    ArithOp::Add => a + b,
+                    ArithOp::Mul => a * b,
+                    _ => unreachable!("guard covers add/mul"),
+                };
+                Plan::ArithConst { input: x, op: op1, val: monet::Val::Float(folded) }
+            }
+            (other, op) => Plan::ArithConst { input: Box::new(other), op, val },
+        },
+        // semijoin(semijoin(x, d), d) = semijoin(x, d)
+        Plan::Semijoin { left, right } => {
+            if let Plan::Semijoin { left: x, right: r2 } = &*left {
+                if r2.fingerprint() == right.fingerprint() {
+                    return Plan::Semijoin { left: x.clone(), right };
+                }
+            }
+            Plan::Semijoin { left, right }
+        }
+        other => other,
+    }
+}
+
+/// Rebuild a plan node with its children transformed.
+fn map_children(plan: &Plan, f: &dyn Fn(&Plan) -> Plan) -> Plan {
+    use Plan::*;
+    match plan {
+        Load(n) => Load(n.clone()),
+        Const(b) => Const(b.clone()),
+        Select { input, pred } => Select { input: Box::new(f(input)), pred: pred.clone() },
+        Join { left, right } => Join { left: Box::new(f(left)), right: Box::new(f(right)) },
+        Semijoin { left, right } => {
+            Semijoin { left: Box::new(f(left)), right: Box::new(f(right)) }
+        }
+        Reverse(p) => Reverse(Box::new(f(p))),
+        Mirror(p) => Mirror(Box::new(f(p))),
+        Mark { input, base } => Mark { input: Box::new(f(input)), base: *base },
+        ProjectConst { input, val } => {
+            ProjectConst { input: Box::new(f(input)), val: val.clone() }
+        }
+        Aggr { input, agg } => Aggr { input: Box::new(f(input)), agg: *agg },
+        GroupedAggr { values, groups, agg } => GroupedAggr {
+            values: Box::new(f(values)),
+            groups: Box::new(f(groups)),
+            agg: *agg,
+        },
+        SortTail { input, desc } => SortTail { input: Box::new(f(input)), desc: *desc },
+        TopN { input, k, desc } => TopN { input: Box::new(f(input)), k: *k, desc: *desc },
+        Slice { input, lo, hi } => Slice { input: Box::new(f(input)), lo: *lo, hi: *hi },
+        Distinct(p) => Distinct(Box::new(f(p))),
+        KUnion { left, right } => KUnion { left: Box::new(f(left)), right: Box::new(f(right)) },
+        KDiff { left, right } => KDiff { left: Box::new(f(left)), right: Box::new(f(right)) },
+        Arith { left, right, op } => {
+            Arith { left: Box::new(f(left)), right: Box::new(f(right)), op: *op }
+        }
+        ArithConst { input, op, val } => {
+            ArithConst { input: Box::new(f(input)), op: *op, val: val.clone() }
+        }
+        Custom { op, inputs, params } => Custom {
+            op: op.clone(),
+            inputs: inputs.iter().map(f).collect(),
+            params: params.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_define, parse_expr};
+    use crate::value::MoaVal;
+    use monet::Val;
+
+    fn env() -> Env {
+        let e = Env::new();
+        let (n, ty) = parse_define(
+            "define Lib as SET<TUPLE<Atomic<int>: size, Atomic<float>: score>>;",
+        )
+        .unwrap();
+        e.create_collection(
+            n,
+            ty,
+            vec![MoaVal::Tuple(vec![MoaVal::Int(1), MoaVal::Float(0.5)])],
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn pushdown_moves_select_below_map() {
+        let env = env();
+        let q = parse_expr("select[THIS.size > 2](map[THIS.score](Lib))").unwrap();
+        let r = rewrite_logical(&q, &env, OptConfig::default());
+        assert_eq!(r.to_string(), "map[THIS.score](select[THIS.size > 2](Lib))");
+    }
+
+    #[test]
+    fn pushdown_disabled_is_identity() {
+        let env = env();
+        let q = parse_expr("select[THIS.size > 2](map[THIS.score](Lib))").unwrap();
+        let r = rewrite_logical(&q, &env, OptConfig::none());
+        assert_eq!(r, q);
+    }
+
+    #[test]
+    fn pushdown_respects_mapped_values() {
+        let env = env();
+        // predicate over the mapped value (bare THIS) must NOT be pushed
+        let q = parse_expr("select[THIS > 0.5](map[THIS.score](Lib))").unwrap();
+        let r = rewrite_logical(&q, &env, OptConfig::default());
+        assert_eq!(r, q);
+        // predicate over an attribute the collection doesn't have: not pushed
+        let q2 = parse_expr("select[THIS.missing > 1](map[THIS.score](Lib))").unwrap();
+        let r2 = rewrite_logical(&q2, &env, OptConfig::default());
+        assert_eq!(r2, q2);
+    }
+
+    #[test]
+    fn pushdown_through_nested_maps() {
+        let env = env();
+        let q = parse_expr(
+            "select[THIS.size = 1](map[sum(THIS)](map[THIS.score](Lib)))",
+        )
+        .unwrap();
+        let r = rewrite_logical(&q, &env, OptConfig::default());
+        assert_eq!(
+            r.to_string(),
+            "map[sum(THIS)](map[THIS.score](select[THIS.size = 1](Lib)))"
+        );
+    }
+
+    #[test]
+    fn peephole_reverse_reverse() {
+        let p = Plan::Reverse(Box::new(Plan::Reverse(Box::new(Plan::load("x")))));
+        let r = rewrite_physical(&p, OptConfig::default());
+        assert_eq!(r.fingerprint(), Plan::load("x").fingerprint());
+    }
+
+    #[test]
+    fn peephole_slice_sort_to_topn() {
+        let p = Plan::Slice {
+            input: Box::new(Plan::SortTail { input: Box::new(Plan::load("x")), desc: true }),
+            lo: 0,
+            hi: 10,
+        };
+        let r = rewrite_physical(&p, OptConfig::default());
+        assert!(matches!(r, Plan::TopN { k: 10, desc: true, .. }));
+    }
+
+    #[test]
+    fn peephole_folds_constant_arith() {
+        let p = Plan::ArithConst {
+            input: Box::new(Plan::ArithConst {
+                input: Box::new(Plan::load("x")),
+                op: ArithOp::Mul,
+                val: Val::Float(2.0),
+            }),
+            op: ArithOp::Mul,
+            val: Val::Float(3.0),
+        };
+        let r = rewrite_physical(&p, OptConfig::default());
+        match r {
+            Plan::ArithConst { val, .. } => assert_eq!(val, Val::Float(6.0)),
+            other => panic!("expected folded arith, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peephole_does_not_fold_mixed_ops() {
+        let p = Plan::ArithConst {
+            input: Box::new(Plan::ArithConst {
+                input: Box::new(Plan::load("x")),
+                op: ArithOp::Mul,
+                val: Val::Float(2.0),
+            }),
+            op: ArithOp::Add,
+            val: Val::Float(3.0),
+        };
+        let r = rewrite_physical(&p, OptConfig::default());
+        // still two ArithConst nodes
+        assert_eq!(r.size(), 3);
+    }
+
+    #[test]
+    fn peephole_dedups_idempotent_semijoin() {
+        let d = Plan::load("dom");
+        let p = Plan::Semijoin {
+            left: Box::new(Plan::Semijoin {
+                left: Box::new(Plan::load("x")),
+                right: Box::new(d.clone()),
+            }),
+            right: Box::new(d),
+        };
+        let r = rewrite_physical(&p, OptConfig::default());
+        assert_eq!(r.size(), 3); // semijoin(x, dom)
+    }
+
+    #[test]
+    fn peephole_disabled_is_identity() {
+        let p = Plan::Reverse(Box::new(Plan::Reverse(Box::new(Plan::load("x")))));
+        let r = rewrite_physical(&p, OptConfig::none());
+        assert_eq!(r.size(), 3);
+    }
+}

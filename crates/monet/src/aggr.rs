@@ -1,0 +1,275 @@
+//! Scalar and grouped aggregation.
+//!
+//! Grouped aggregation is the kernel half of Moa's nested `map[sum(THIS)]`
+//! pattern: after flattening, "sum the inner set of each object" becomes a
+//! single `grouped_agg` over `[oid, value]` guided by a `[oid, group]`
+//! mapping — one set-at-a-time operator instead of one query per object.
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{MonetError, Result};
+use crate::fxhash::FxHashMap;
+use crate::join::key_at;
+use crate::value::{Oid, Val};
+
+/// Aggregate kinds supported by scalar and grouped aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agg {
+    /// Sum of values (int stays int, float stays float).
+    Sum,
+    /// Row count.
+    Count,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Arithmetic mean (always float).
+    Avg,
+}
+
+impl std::fmt::Display for Agg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Agg::Sum => "sum",
+            Agg::Count => "count",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Bat {
+    /// Aggregate the whole tail to a single value. Empty BATs yield the
+    /// aggregate's identity where one exists (`Sum → 0`, `Count → 0`) and
+    /// an error for `Min`/`Max`/`Avg`.
+    pub fn agg_tail(&self, agg: Agg) -> Result<Val> {
+        match agg {
+            Agg::Count => return Ok(Val::Int(self.count() as i64)),
+            Agg::Sum if self.is_empty() => {
+                return Ok(match self.tail() {
+                    Column::Float(_) => Val::Float(0.0),
+                    _ => Val::Int(0),
+                })
+            }
+            _ if self.is_empty() => {
+                return Err(MonetError::BadValue(format!("{agg} of empty BAT")))
+            }
+            _ => {}
+        }
+        match self.tail() {
+            Column::Int(v) => Ok(match agg {
+                Agg::Sum => Val::Int(v.iter().sum()),
+                Agg::Min => Val::Int(*v.iter().min().expect("non-empty")),
+                Agg::Max => Val::Int(*v.iter().max().expect("non-empty")),
+                Agg::Avg => Val::Float(v.iter().sum::<i64>() as f64 / v.len() as f64),
+                Agg::Count => unreachable!(),
+            }),
+            Column::Float(v) => Ok(match agg {
+                Agg::Sum => Val::Float(v.iter().sum()),
+                Agg::Min => Val::Float(v.iter().fold(f64::INFINITY, |a, &b| a.min(b))),
+                Agg::Max => Val::Float(v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))),
+                Agg::Avg => Val::Float(v.iter().sum::<f64>() / v.len() as f64),
+                Agg::Count => unreachable!(),
+            }),
+            other => Err(MonetError::TypeMismatch {
+                op: "agg_tail",
+                expected: "int|float",
+                found: other.ty_str(),
+            }),
+        }
+    }
+
+    /// Grouped aggregation.
+    ///
+    /// `self` is a `[key, value]` BAT; `groups` maps the same keys to group
+    /// ids (`[key, gid]` with gids dense `0..n_groups`). Returns
+    /// `[gid(void), aggregate]` with one row per group id up to the maximum
+    /// gid in `groups`; groups with no contributing rows get the identity
+    /// (0 for `Sum`/`Count`) or are an error for `Min`/`Max`/`Avg`-of-none
+    /// — those yield 0.0 to keep ranking pipelines total.
+    ///
+    /// Fast path: when both heads are identical void sequences the
+    /// alignment is positional; otherwise keys are matched by hash.
+    pub fn grouped_agg(&self, groups: &Bat, agg: Agg) -> Result<Bat> {
+        if groups.is_empty() {
+            return Ok(Bat::dense(Column::Float(Vec::new())));
+        }
+        let n_groups = match groups.tail().min_max() {
+            Some((_, mx)) => {
+                mx.as_oid().ok_or_else(|| {
+                    MonetError::BadValue("group ids must be oids".into())
+                })? as usize
+                    + 1
+            }
+            None => 0,
+        };
+        // Resolve, per row of self, its group id.
+        let gid_of_row: Vec<Option<Oid>> = if let (Some(s1), Some(s2)) = (
+            self.head().void_start(),
+            groups.head().void_start(),
+        ) {
+            // positional alignment of two dense heads
+            let g = groups.tail();
+            (0..self.count())
+                .map(|i| {
+                    let oid = s1 + i as Oid;
+                    let j = oid.checked_sub(s2).map(|d| d as usize);
+                    match j {
+                        Some(j) if j < g.len() => g.oid_at(j).ok(),
+                        _ => None,
+                    }
+                })
+                .collect()
+        } else {
+            // hash the group mapping: key -> gid
+            let mut table: FxHashMap<_, Oid> = FxHashMap::default();
+            let gh = groups.head();
+            let gt = groups.tail();
+            for j in 0..groups.count() {
+                table.insert(key_at(gh, j), gt.oid_at(j)?);
+            }
+            let sh = self.head();
+            (0..self.count()).map(|i| table.get(&key_at(sh, i)).copied()).collect()
+        };
+
+        let mut sums = vec![0.0f64; n_groups];
+        let mut counts = vec![0u64; n_groups];
+        let mut mins = vec![f64::INFINITY; n_groups];
+        let mut maxs = vec![f64::NEG_INFINITY; n_groups];
+        let vals = self.tail();
+        for (i, gid) in gid_of_row.iter().enumerate() {
+            let Some(g) = gid else { continue };
+            let g = *g as usize;
+            let x = match vals {
+                Column::Int(v) => v[i] as f64,
+                Column::Float(v) => v[i],
+                Column::Void { start, .. } => (*start + i as Oid) as f64,
+                Column::Oid(v) => v[i] as f64,
+                Column::Str(_) => {
+                    if agg == Agg::Count {
+                        0.0
+                    } else {
+                        return Err(MonetError::TypeMismatch {
+                            op: "grouped_agg",
+                            expected: "numeric",
+                            found: "str",
+                        });
+                    }
+                }
+            };
+            sums[g] += x;
+            counts[g] += 1;
+            if x < mins[g] {
+                mins[g] = x;
+            }
+            if x > maxs[g] {
+                maxs[g] = x;
+            }
+        }
+        let out: Column = match agg {
+            Agg::Count => Column::Int(counts.iter().map(|&c| c as i64).collect()),
+            Agg::Sum => match vals {
+                Column::Int(_) => Column::Int(sums.iter().map(|&s| s as i64).collect()),
+                _ => Column::Float(sums),
+            },
+            Agg::Avg => Column::Float(
+                sums.iter()
+                    .zip(&counts)
+                    .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect(),
+            ),
+            Agg::Min => Column::Float(
+                mins.iter().map(|&m| if m.is_finite() { m } else { 0.0 }).collect(),
+            ),
+            Agg::Max => Column::Float(
+                maxs.iter().map(|&m| if m.is_finite() { m } else { 0.0 }).collect(),
+            ),
+        };
+        Ok(Bat::dense(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bat::{bat_of_floats, bat_of_ints};
+
+    #[test]
+    fn scalar_aggregates() {
+        let b = bat_of_ints(vec![1, 2, 3, 4]);
+        assert_eq!(b.agg_tail(Agg::Sum).unwrap(), Val::Int(10));
+        assert_eq!(b.agg_tail(Agg::Count).unwrap(), Val::Int(4));
+        assert_eq!(b.agg_tail(Agg::Min).unwrap(), Val::Int(1));
+        assert_eq!(b.agg_tail(Agg::Max).unwrap(), Val::Int(4));
+        assert_eq!(b.agg_tail(Agg::Avg).unwrap(), Val::Float(2.5));
+    }
+
+    #[test]
+    fn scalar_aggregates_float_and_empty() {
+        let b = bat_of_floats(vec![0.25, 0.75]);
+        assert_eq!(b.agg_tail(Agg::Sum).unwrap(), Val::Float(1.0));
+        let e = bat_of_floats(vec![]);
+        assert_eq!(e.agg_tail(Agg::Sum).unwrap(), Val::Float(0.0));
+        assert_eq!(e.agg_tail(Agg::Count).unwrap(), Val::Int(0));
+        assert!(e.agg_tail(Agg::Min).is_err());
+    }
+
+    #[test]
+    fn grouped_sum_positional() {
+        // values per row
+        let vals = bat_of_floats(vec![0.1, 0.2, 0.3, 0.4]);
+        // rows 0,2 -> group 0; rows 1,3 -> group 1
+        let groups = Bat::dense(Column::Oid(vec![0, 1, 0, 1]));
+        let out = vals.grouped_agg(&groups, Agg::Sum).unwrap();
+        assert_eq!(out.count(), 2);
+        let s0 = out.fetch(0).unwrap().1.as_float().unwrap();
+        let s1 = out.fetch(1).unwrap().1.as_float().unwrap();
+        assert!((s0 - 0.4).abs() < 1e-12);
+        assert!((s1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_agg_hash_path_with_sparse_keys() {
+        // keys are arbitrary oids, not positions
+        let vals = Bat::new(Column::Oid(vec![10, 20, 10]), Column::Int(vec![1, 2, 4])).unwrap();
+        let groups = Bat::new(Column::Oid(vec![10, 20]), Column::Oid(vec![0, 1])).unwrap();
+        let out = vals.grouped_agg(&groups, Agg::Sum).unwrap();
+        assert_eq!(out.fetch(0).unwrap().1, Val::Int(5));
+        assert_eq!(out.fetch(1).unwrap().1, Val::Int(2));
+    }
+
+    #[test]
+    fn grouped_count_includes_empty_groups() {
+        let vals = Bat::dense(Column::Int(vec![5]));
+        // group mapping says there are 3 groups but only row 0 (group 2) has data
+        let groups = Bat::dense(Column::Oid(vec![2]));
+        let out = vals.grouped_agg(&groups, Agg::Count).unwrap();
+        assert_eq!(out.count(), 3);
+        assert_eq!(out.fetch(0).unwrap().1, Val::Int(0));
+        assert_eq!(out.fetch(2).unwrap().1, Val::Int(1));
+    }
+
+    #[test]
+    fn grouped_min_max_avg() {
+        let vals = bat_of_floats(vec![3.0, 1.0, 2.0]);
+        let groups = Bat::dense(Column::Oid(vec![0, 0, 1]));
+        let mins = vals.grouped_agg(&groups, Agg::Min).unwrap();
+        assert_eq!(mins.fetch(0).unwrap().1, Val::Float(1.0));
+        let maxs = vals.grouped_agg(&groups, Agg::Max).unwrap();
+        assert_eq!(maxs.fetch(1).unwrap().1, Val::Float(2.0));
+        let avgs = vals.grouped_agg(&groups, Agg::Avg).unwrap();
+        assert_eq!(avgs.fetch(0).unwrap().1, Val::Float(2.0));
+    }
+
+    #[test]
+    fn rows_without_group_are_skipped() {
+        // self has key 99 not present in groups
+        let vals = Bat::new(Column::Oid(vec![0, 99]), Column::Int(vec![1, 100])).unwrap();
+        let groups = Bat::new(Column::Oid(vec![0]), Column::Oid(vec![0])).unwrap();
+        let out = vals.grouped_agg(&groups, Agg::Sum).unwrap();
+        assert_eq!(out.count(), 1);
+        assert_eq!(out.fetch(0).unwrap().1, Val::Int(1));
+    }
+}

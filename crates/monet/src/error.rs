@@ -1,0 +1,86 @@
+//! Error type shared by all kernel operations.
+
+use std::fmt;
+
+/// Result alias used throughout the kernel.
+pub type Result<T> = std::result::Result<T, MonetError>;
+
+/// Errors raised by BAT-algebra operations, the catalog and the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonetError {
+    /// Two columns that must have equal length differ in length.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// An operation received a column of the wrong type.
+    TypeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected column type description.
+        expected: &'static str,
+        /// Actual column type description.
+        found: &'static str,
+    },
+    /// A named BAT was not found in the catalog.
+    UnknownBat(String),
+    /// A custom physical operator was not found in the registry.
+    UnknownOp(String),
+    /// A custom operator was invoked with bad arity or parameters.
+    BadOpInvocation {
+        /// Operator name.
+        op: String,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// Index out of bounds on a positional access.
+    OutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Column length.
+        len: usize,
+    },
+    /// A value could not be interpreted in the required domain.
+    BadValue(String),
+}
+
+impl fmt::Display for MonetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonetError::LengthMismatch { left, right } => {
+                write!(f, "column length mismatch: {left} vs {right}")
+            }
+            MonetError::TypeMismatch { op, expected, found } => {
+                write!(f, "{op}: expected {expected} column, found {found}")
+            }
+            MonetError::UnknownBat(name) => write!(f, "unknown BAT '{name}'"),
+            MonetError::UnknownOp(name) => write!(f, "unknown physical operator '{name}'"),
+            MonetError::BadOpInvocation { op, msg } => {
+                write!(f, "bad invocation of operator '{op}': {msg}")
+            }
+            MonetError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for column of length {len}")
+            }
+            MonetError::BadValue(msg) => write!(f, "bad value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MonetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MonetError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = MonetError::UnknownBat("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = MonetError::TypeMismatch { op: "join", expected: "oid", found: "str" };
+        assert!(e.to_string().contains("join"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Catalog persistence — Monet's disk-resident BATs.
+//!
+//! A simple, dependency-free binary format: one file per BAT plus a
+//! manifest. Columns serialise as a type tag, a length, and the raw
+//! values; dictionaries are re-interned on load. Good enough to snapshot
+//! and restore a library between sessions (crash-consistency is out of
+//! scope, as it was for the research prototype).
+
+use crate::bat::Bat;
+use crate::catalog::Catalog;
+use crate::column::{Column, StrCol};
+use crate::error::{MonetError, Result};
+use crate::strdict::StrDictBuilder;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MIRRBAT1";
+
+fn io_err(e: std::io::Error) -> MonetError {
+    MonetError::BadValue(format!("io: {e}"))
+}
+
+/// Serialise one column into `out`.
+fn write_column(out: &mut impl Write, c: &Column) -> Result<()> {
+    match c {
+        Column::Void { start, len } => {
+            out.write_all(&[0u8]).map_err(io_err)?;
+            out.write_all(&start.to_le_bytes()).map_err(io_err)?;
+            out.write_all(&(*len as u64).to_le_bytes()).map_err(io_err)?;
+        }
+        Column::Oid(v) => {
+            out.write_all(&[1u8]).map_err(io_err)?;
+            out.write_all(&(v.len() as u64).to_le_bytes()).map_err(io_err)?;
+            for x in v {
+                out.write_all(&x.to_le_bytes()).map_err(io_err)?;
+            }
+        }
+        Column::Int(v) => {
+            out.write_all(&[2u8]).map_err(io_err)?;
+            out.write_all(&(v.len() as u64).to_le_bytes()).map_err(io_err)?;
+            for x in v {
+                out.write_all(&x.to_le_bytes()).map_err(io_err)?;
+            }
+        }
+        Column::Float(v) => {
+            out.write_all(&[3u8]).map_err(io_err)?;
+            out.write_all(&(v.len() as u64).to_le_bytes()).map_err(io_err)?;
+            for x in v {
+                out.write_all(&x.to_bits().to_le_bytes()).map_err(io_err)?;
+            }
+        }
+        Column::Str(s) => {
+            out.write_all(&[4u8]).map_err(io_err)?;
+            out.write_all(&(s.codes.len() as u64).to_le_bytes()).map_err(io_err)?;
+            for x in &s.codes {
+                out.write_all(&x.to_le_bytes()).map_err(io_err)?;
+            }
+            out.write_all(&(s.dict.len() as u64).to_le_bytes()).map_err(io_err)?;
+            for (_, st) in s.dict.iter() {
+                let bytes = st.as_bytes();
+                out.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io_err)?;
+                out.write_all(bytes).map_err(io_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_exact_buf(inp: &mut impl Read, n: usize) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    inp.read_exact(&mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
+fn read_u64(inp: &mut impl Read) -> Result<u64> {
+    let b = read_exact_buf(inp, 8)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn read_u32(inp: &mut impl Read) -> Result<u32> {
+    let b = read_exact_buf(inp, 4)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+/// Deserialise one column from `inp`.
+fn read_column(inp: &mut impl Read) -> Result<Column> {
+    let tag = read_exact_buf(inp, 1)?[0];
+    Ok(match tag {
+        0 => {
+            let start = read_u32(inp)?;
+            let len = read_u64(inp)? as usize;
+            Column::Void { start, len }
+        }
+        1 => {
+            let n = read_u64(inp)? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(read_u32(inp)?);
+            }
+            Column::Oid(v)
+        }
+        2 => {
+            let n = read_u64(inp)? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let b = read_exact_buf(inp, 8)?;
+                v.push(i64::from_le_bytes(b.try_into().expect("8 bytes")));
+            }
+            Column::Int(v)
+        }
+        3 => {
+            let n = read_u64(inp)? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(f64::from_bits(read_u64(inp)?));
+            }
+            Column::Float(v)
+        }
+        4 => {
+            let n = read_u64(inp)? as usize;
+            let mut codes = Vec::with_capacity(n);
+            for _ in 0..n {
+                codes.push(read_u32(inp)?);
+            }
+            let dict_len = read_u64(inp)? as usize;
+            let mut builder = StrDictBuilder::new();
+            for _ in 0..dict_len {
+                let slen = read_u32(inp)? as usize;
+                let bytes = read_exact_buf(inp, slen)?;
+                let s = String::from_utf8(bytes)
+                    .map_err(|e| MonetError::BadValue(format!("bad utf8 in dict: {e}")))?;
+                builder.intern(&s);
+            }
+            Column::Str(StrCol { codes, dict: builder.freeze() })
+        }
+        other => return Err(MonetError::BadValue(format!("unknown column tag {other}"))),
+    })
+}
+
+/// Map a BAT name to a safe file name.
+fn file_name(bat_name: &str) -> String {
+    let safe: String = bat_name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '%' })
+        .collect();
+    format!("{safe}.bat")
+}
+
+impl Catalog {
+    /// Snapshot every registered BAT into `dir` (created if missing). A
+    /// `manifest.txt` lists the stored names.
+    pub fn save_dir(&self, dir: &Path) -> Result<usize> {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let names = self.names();
+        let mut manifest = String::new();
+        for name in &names {
+            let bat = self.get(name)?;
+            let mut buf: Vec<u8> = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            write_column(&mut buf, bat.head())?;
+            write_column(&mut buf, bat.tail())?;
+            std::fs::write(dir.join(file_name(name)), &buf).map_err(io_err)?;
+            manifest.push_str(name);
+            manifest.push('\n');
+        }
+        std::fs::write(dir.join("manifest.txt"), manifest).map_err(io_err)?;
+        Ok(names.len())
+    }
+
+    /// Load every BAT named in `dir`'s manifest into this catalog
+    /// (replacing same-named BATs). Property bits are recomputed exactly.
+    pub fn load_dir(&self, dir: &Path) -> Result<usize> {
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt")).map_err(io_err)?;
+        let mut loaded = 0;
+        for name in manifest.lines().filter(|l| !l.is_empty()) {
+            let bytes = std::fs::read(dir.join(file_name(name))).map_err(io_err)?;
+            if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+                return Err(MonetError::BadValue(format!("bad magic in BAT file for '{name}'")));
+            }
+            let mut cursor = &bytes[MAGIC.len()..];
+            let head = read_column(&mut cursor)?;
+            let tail = read_column(&mut cursor)?;
+            let bat = Bat::new(head, tail)?.analyze();
+            self.register(name, bat);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bat::{bat_of_floats, bat_of_ints, bat_of_strs};
+    use crate::value::Val;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mirror_persist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_all_column_types() {
+        let dir = tmpdir("roundtrip");
+        let cat = Catalog::new();
+        cat.register("ints", bat_of_ints(vec![1, -5, 7]));
+        cat.register("floats", bat_of_floats(vec![0.5, -2.25]));
+        cat.register("strs", bat_of_strs(["alpha", "beta", "alpha"]));
+        cat.register(
+            "oids",
+            Bat::new(Column::Oid(vec![9, 3]), Column::Void { start: 10, len: 2 }).unwrap(),
+        );
+        assert_eq!(cat.save_dir(&dir).unwrap(), 4);
+
+        let restored = Catalog::new();
+        assert_eq!(restored.load_dir(&dir).unwrap(), 4);
+        assert_eq!(
+            restored.get("ints").unwrap().to_pairs(),
+            cat.get("ints").unwrap().to_pairs()
+        );
+        assert_eq!(
+            restored.get("strs").unwrap().fetch(2).unwrap().1,
+            Val::from("alpha")
+        );
+        assert_eq!(
+            restored.get("oids").unwrap().fetch(1).unwrap(),
+            (Val::Oid(3), Val::Oid(11))
+        );
+        // dictionaries deduplicate after reload
+        let s = restored.get("strs").unwrap();
+        let col = s.tail().str_col().unwrap();
+        assert_eq!(col.dict.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_recomputes_properties() {
+        let dir = tmpdir("props");
+        let cat = Catalog::new();
+        cat.register("sorted", bat_of_ints(vec![1, 2, 3]));
+        cat.save_dir(&dir).unwrap();
+        let restored = Catalog::new();
+        restored.load_dir(&dir).unwrap();
+        let b = restored.get("sorted").unwrap();
+        assert!(b.props().tail_sorted);
+        assert!(b.props().head_sorted && b.props().head_key);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let cat = Catalog::new();
+        cat.register("x", bat_of_ints(vec![1]));
+        cat.save_dir(&dir).unwrap();
+        std::fs::write(dir.join(file_name("x")), b"garbage").unwrap();
+        let restored = Catalog::new();
+        assert!(restored.load_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_errors() {
+        let restored = Catalog::new();
+        assert!(restored.load_dir(Path::new("/nonexistent/mirror")).is_err());
+    }
+
+    #[test]
+    fn odd_names_are_escaped() {
+        let dir = tmpdir("names");
+        let cat = Catalog::new();
+        cat.register("Lib__annotation__post_d", bat_of_ints(vec![4]));
+        cat.save_dir(&dir).unwrap();
+        let restored = Catalog::new();
+        restored.load_dir(&dir).unwrap();
+        assert!(restored.contains("Lib__annotation__post_d"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

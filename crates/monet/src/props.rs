@@ -1,0 +1,63 @@
+//! BAT property bits.
+//!
+//! Monet tracks simple physical properties per BAT and uses them to choose
+//! operator implementations (e.g. merge join over hash join when both
+//! operands are tail-sorted, positional fetch when a head is void). We keep
+//! the same four bits. Properties are *conservative*: a cleared bit means
+//! "unknown", never "false and exploited".
+
+/// Physical properties of a BAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Props {
+    /// Head values are non-decreasing.
+    pub head_sorted: bool,
+    /// Tail values are non-decreasing.
+    pub tail_sorted: bool,
+    /// Head values are all distinct (a key).
+    pub head_key: bool,
+    /// Tail values are all distinct.
+    pub tail_key: bool,
+}
+
+impl Props {
+    /// Properties of a dense-headed BAT: the void head is sorted and a key.
+    pub fn dense_head() -> Props {
+        Props { head_sorted: true, head_key: true, ..Props::default() }
+    }
+
+    /// Properties with every bit cleared ("nothing known").
+    pub fn unknown() -> Props {
+        Props::default()
+    }
+
+    /// Swap head and tail property bits (used by `reverse`).
+    pub fn reversed(self) -> Props {
+        Props {
+            head_sorted: self.tail_sorted,
+            tail_sorted: self.head_sorted,
+            head_key: self.tail_key,
+            tail_key: self.head_key,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_bits() {
+        let p = Props { head_sorted: true, tail_sorted: false, head_key: true, tail_key: false };
+        let r = p.reversed();
+        assert!(r.tail_sorted && r.tail_key);
+        assert!(!r.head_sorted && !r.head_key);
+        assert_eq!(r.reversed(), p);
+    }
+
+    #[test]
+    fn dense_head_props() {
+        let p = Props::dense_head();
+        assert!(p.head_sorted && p.head_key);
+        assert!(!p.tail_sorted && !p.tail_key);
+    }
+}

@@ -1,0 +1,264 @@
+//! Selection operators: filter a BAT by a predicate on its tail.
+//!
+//! Selections return the qualifying `(head, tail)` pairs — the MIL
+//! convention — so downstream operators can project either column with
+//! `reverse`/`mirror`. Range selections on sorted tails use binary search.
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::Result;
+use crate::props::Props;
+use crate::value::Val;
+use std::ops::Bound;
+
+impl Bat {
+    /// Rows whose tail equals `v`.
+    pub fn select_eq(&self, v: &Val) -> Result<Bat> {
+        self.select_range(Bound::Included(v), Bound::Included(v))
+    }
+
+    /// Rows whose tail lies within the given bounds (by [`Val::total_cmp`]).
+    pub fn select_range(&self, lo: Bound<&Val>, hi: Bound<&Val>) -> Result<Bat> {
+        // Sorted-tail fast path: binary search the window, then slice.
+        if self.props().tail_sorted && !matches!(self.tail(), Column::Str(_)) {
+            let (a, b) = sorted_window(self.tail(), lo, hi)?;
+            let mut out = self.slice(a, b);
+            // slicing preserves sortedness and keyness
+            out = out.with_props(self.props());
+            return Ok(out);
+        }
+        let positions = scan_range(self.tail(), lo, hi)?;
+        Ok(self.take_ordered(&positions))
+    }
+
+    /// Rows whose (string) tail contains `pat` as a substring.
+    pub fn select_str_contains(&self, pat: &str) -> Result<Bat> {
+        let s = self.tail().str_col()?;
+        // Evaluate the predicate once per *dictionary entry*, then scan codes.
+        let mut matching = vec![false; s.dict.len()];
+        for (code, st) in s.dict.iter() {
+            matching[code as usize] = st.contains(pat);
+        }
+        let positions: Vec<u32> = s
+            .codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| matching[c as usize])
+            .map(|(i, _)| i as u32)
+            .collect();
+        Ok(self.take_ordered(&positions))
+    }
+
+    /// Rows whose tail satisfies an arbitrary predicate (slow path — used
+    /// by the naive object-at-a-time interpreter and tests).
+    pub fn select_where<F: FnMut(&Val) -> bool>(&self, mut pred: F) -> Result<Bat> {
+        let mut positions = Vec::new();
+        for i in 0..self.count() {
+            if pred(&self.tail().get(i)?) {
+                positions.push(i as u32);
+            }
+        }
+        Ok(self.take_ordered(&positions))
+    }
+
+    /// Gather by strictly increasing positions, preserving order-derived
+    /// properties of both columns.
+    pub(crate) fn take_ordered(&self, positions: &[u32]) -> Bat {
+        let out = self.take(positions);
+        out.with_props(Props {
+            head_sorted: self.props().head_sorted,
+            tail_sorted: self.props().tail_sorted,
+            head_key: self.props().head_key,
+            tail_key: self.props().tail_key,
+        })
+    }
+}
+
+/// Binary-search the `[lo, hi)` row window of a sorted numeric column.
+fn sorted_window(c: &Column, lo: Bound<&Val>, hi: Bound<&Val>) -> Result<(usize, usize)> {
+    let n = c.len();
+    let cmp_at = |i: usize, v: &Val| -> std::cmp::Ordering {
+        c.get(i).expect("index in range").total_cmp(v)
+    };
+    let lower = |v: &Val, inclusive: bool| -> usize {
+        // first index where (tail > v) or (tail >= v if inclusive)
+        let mut lo_i = 0usize;
+        let mut hi_i = n;
+        while lo_i < hi_i {
+            let mid = (lo_i + hi_i) / 2;
+            let ord = cmp_at(mid, v);
+            let keep_left = if inclusive { ord.is_lt() } else { ord.is_le() };
+            if keep_left {
+                lo_i = mid + 1;
+            } else {
+                hi_i = mid;
+            }
+        }
+        lo_i
+    };
+    let a = match lo {
+        Bound::Unbounded => 0,
+        Bound::Included(v) => lower(v, true),
+        Bound::Excluded(v) => lower(v, false),
+    };
+    let b = match hi {
+        Bound::Unbounded => n,
+        Bound::Included(v) => lower(v, false),
+        Bound::Excluded(v) => lower(v, true),
+    };
+    Ok((a, b.max(a)))
+}
+
+/// Scan an arbitrary column for rows within bounds.
+fn scan_range(c: &Column, lo: Bound<&Val>, hi: Bound<&Val>) -> Result<Vec<u32>> {
+    let in_lo = |v: &Val| match lo {
+        Bound::Unbounded => true,
+        Bound::Included(b) => v.total_cmp(b).is_ge(),
+        Bound::Excluded(b) => v.total_cmp(b).is_gt(),
+    };
+    let in_hi = |v: &Val| match hi {
+        Bound::Unbounded => true,
+        Bound::Included(b) => v.total_cmp(b).is_le(),
+        Bound::Excluded(b) => v.total_cmp(b).is_lt(),
+    };
+    // Typed scans avoid constructing Vals in the common numeric cases.
+    let mut positions = Vec::new();
+    match c {
+        Column::Int(v) => {
+            let lo_i = int_bound(lo);
+            let hi_i = int_bound(hi);
+            for (i, &x) in v.iter().enumerate() {
+                if lo_i.is_none_or(|(b, inc)| if inc { x >= b } else { x > b })
+                    && hi_i.is_none_or(|(b, inc)| if inc { x <= b } else { x < b })
+                {
+                    positions.push(i as u32);
+                }
+            }
+        }
+        Column::Float(v) => {
+            let lo_f = float_bound(lo);
+            let hi_f = float_bound(hi);
+            for (i, &x) in v.iter().enumerate() {
+                if lo_f.is_none_or(|(b, inc)| if inc { x >= b } else { x > b })
+                    && hi_f.is_none_or(|(b, inc)| if inc { x <= b } else { x < b })
+                {
+                    positions.push(i as u32);
+                }
+            }
+        }
+        _ => {
+            for i in 0..c.len() {
+                let v = c.get(i)?;
+                if in_lo(&v) && in_hi(&v) {
+                    positions.push(i as u32);
+                }
+            }
+        }
+    }
+    Ok(positions)
+}
+
+fn int_bound(b: Bound<&Val>) -> Option<(i64, bool)> {
+    match b {
+        Bound::Unbounded => None,
+        Bound::Included(v) => v.as_int().map(|x| (x, true)),
+        Bound::Excluded(v) => v.as_int().map(|x| (x, false)),
+    }
+}
+
+fn float_bound(b: Bound<&Val>) -> Option<(f64, bool)> {
+    match b {
+        Bound::Unbounded => None,
+        Bound::Included(v) => v.as_float().map(|x| (x, true)),
+        Bound::Excluded(v) => v.as_float().map(|x| (x, false)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bat::{bat_of_ints, bat_of_strs};
+
+    #[test]
+    fn select_eq_ints() {
+        let b = bat_of_ints(vec![5, 7, 5, 9]);
+        let r = b.select_eq(&Val::Int(5)).unwrap();
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.fetch(0).unwrap().0, Val::Oid(0));
+        assert_eq!(r.fetch(1).unwrap().0, Val::Oid(2));
+    }
+
+    #[test]
+    fn select_range_unsorted_scan() {
+        let b = bat_of_ints(vec![10, 3, 7, 8, 1]);
+        let r = b
+            .select_range(Bound::Included(&Val::Int(3)), Bound::Excluded(&Val::Int(8)))
+            .unwrap();
+        let tails: Vec<_> = r.to_pairs().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(tails, vec![Val::Int(3), Val::Int(7)]);
+    }
+
+    #[test]
+    fn select_range_sorted_binary_search() {
+        let b = bat_of_ints(vec![1, 3, 3, 5, 9]).analyze();
+        assert!(b.props().tail_sorted);
+        let r = b
+            .select_range(Bound::Included(&Val::Int(3)), Bound::Included(&Val::Int(5)))
+            .unwrap();
+        let tails: Vec<_> = r.to_pairs().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(tails, vec![Val::Int(3), Val::Int(3), Val::Int(5)]);
+        // heads must point at original rows
+        assert_eq!(r.fetch(0).unwrap().0, Val::Oid(1));
+    }
+
+    #[test]
+    fn select_range_sorted_excluded_bounds() {
+        let b = bat_of_ints(vec![1, 3, 3, 5, 9]).analyze();
+        let r = b
+            .select_range(Bound::Excluded(&Val::Int(3)), Bound::Excluded(&Val::Int(9)))
+            .unwrap();
+        let tails: Vec<_> = r.to_pairs().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(tails, vec![Val::Int(5)]);
+    }
+
+    #[test]
+    fn select_range_empty_window() {
+        let b = bat_of_ints(vec![1, 2, 3]).analyze();
+        let r = b
+            .select_range(Bound::Included(&Val::Int(10)), Bound::Included(&Val::Int(20)))
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn select_floats() {
+        let b = crate::bat::bat_of_floats(vec![0.1, 0.9, 0.5]);
+        let r = b
+            .select_range(Bound::Included(&Val::Float(0.4)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn select_str_contains_uses_dictionary() {
+        let b = bat_of_strs(["sunset beach", "forest", "beach house", "forest"]);
+        let r = b.select_str_contains("beach").unwrap();
+        assert_eq!(r.count(), 2);
+        let r2 = b.select_str_contains("forest").unwrap();
+        assert_eq!(r2.count(), 2);
+    }
+
+    #[test]
+    fn select_where_arbitrary_predicate() {
+        let b = bat_of_ints(vec![1, 2, 3, 4]);
+        let r = b.select_where(|v| v.as_int().unwrap() % 2 == 0).unwrap();
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn select_eq_strings() {
+        let b = bat_of_strs(["a", "b", "a"]);
+        let r = b.select_eq(&Val::from("a")).unwrap();
+        assert_eq!(r.count(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Key-based set operations over BAT heads (Monet's `kunion`, `kdiff`,
+//! `kintersect`).
+//!
+//! A BAT whose head is a key behaves as a set of oid-keyed facts; these
+//! operators combine two such BATs by head membership. They are used by the
+//! Moa layer for set-valued attributes and by combined IR/data-retrieval
+//! plans (e.g. restrict a ranking to documents surviving a relational
+//! selection).
+
+use crate::bat::Bat;
+use crate::error::Result;
+use crate::fxhash::FxHashSet;
+use crate::join::{check_joinable, key_at, KeyRef};
+
+impl Bat {
+    /// Rows of `self` whose head does **not** occur among `other`'s heads.
+    pub fn kdiff(&self, other: &Bat) -> Result<Bat> {
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
+        check_joinable("kdiff", self.head(), other.head())?;
+        let set = head_set(other);
+        self.select_head_where(|k| !set.contains(&k))
+    }
+
+    /// Rows of `self` whose head occurs among `other`'s heads.
+    /// (Equivalent to [`Bat::semijoin`]; kept under its MIL name.)
+    pub fn kintersect(&self, other: &Bat) -> Result<Bat> {
+        self.semijoin(other)
+    }
+
+    /// All rows of `self` plus the rows of `other` whose head does not
+    /// occur in `self`. On duplicate heads, `self`'s association wins.
+    pub fn kunion(&self, other: &Bat) -> Result<Bat> {
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
+        if self.is_empty() {
+            return Ok(other.clone());
+        }
+        check_joinable("kunion", self.head(), other.head())?;
+        let fresh = other.kdiff(self)?;
+        self.append(&fresh)
+    }
+}
+
+fn head_set(bat: &Bat) -> FxHashSet<KeyRef<'_>> {
+    let h = bat.head();
+    (0..h.len()).map(|i| key_at(h, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Val;
+
+    fn keyed(heads: Vec<u32>, tails: Vec<i64>) -> Bat {
+        Bat::new(Column::Oid(heads), Column::Int(tails)).unwrap()
+    }
+
+    #[test]
+    fn kdiff_removes_common_heads() {
+        let a = keyed(vec![1, 2, 3], vec![10, 20, 30]);
+        let b = keyed(vec![2], vec![0]);
+        let d = a.kdiff(&b).unwrap();
+        let heads: Vec<_> = d.to_pairs().into_iter().map(|(h, _)| h).collect();
+        assert_eq!(heads, vec![Val::Oid(1), Val::Oid(3)]);
+    }
+
+    #[test]
+    fn kdiff_with_empty_rhs_is_identity() {
+        let a = keyed(vec![1], vec![10]);
+        let b = keyed(vec![], vec![]);
+        assert_eq!(a.kdiff(&b).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn kintersect_keeps_common_heads() {
+        let a = keyed(vec![1, 2, 3], vec![10, 20, 30]);
+        let b = keyed(vec![3, 1], vec![0, 0]);
+        let i = a.kintersect(&b).unwrap();
+        let heads: Vec<_> = i.to_pairs().into_iter().map(|(h, _)| h).collect();
+        assert_eq!(heads, vec![Val::Oid(1), Val::Oid(3)]);
+    }
+
+    #[test]
+    fn kunion_prefers_left_on_conflict() {
+        let a = keyed(vec![1, 2], vec![10, 20]);
+        let b = keyed(vec![2, 3], vec![99, 30]);
+        let u = a.kunion(&b).unwrap();
+        assert_eq!(u.count(), 3);
+        let pairs = u.to_pairs();
+        assert!(pairs.contains(&(Val::Oid(2), Val::Int(20)))); // left's value
+        assert!(pairs.contains(&(Val::Oid(3), Val::Int(30))));
+    }
+
+    #[test]
+    fn kunion_with_empty_sides() {
+        let a = keyed(vec![1], vec![10]);
+        let e = keyed(vec![], vec![]);
+        assert_eq!(a.kunion(&e).unwrap().count(), 1);
+        assert_eq!(e.kunion(&a).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn setops_respect_types() {
+        let a = keyed(vec![1], vec![10]);
+        let b = crate::bat::bat_of_strs(["x"]).reverse(); // str head
+        assert!(a.kdiff(&b).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! # thesaurus — the association thesaurus (dual coding)
+//!
+//! The Mirror demo automatically constructs a thesaurus "associating words
+//! in the textual annotations to the clusters in the image content
+//! representation" — an implementation of Paivio's dual-coding theory, and
+//! (following PhraseFinder \[JC94\]) a device that can be read as *measuring
+//! the belief in a concept (instead of a document) given the query*.
+//!
+//! [`AssociationThesaurus`] mines co-occurrence statistics between
+//! annotation terms and visual terms over the annotated subset of the
+//! library, scores associations with EMIM (expected mutual information
+//! measure, with a chi-square alternative for the ablation), and expands a
+//! text query into a weighted visual-term query.
+
+use std::collections::{HashMap, HashSet};
+
+/// Association scoring measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssocMeasure {
+    /// Expected mutual information over the presence/absence contingency
+    /// table (PhraseFinder's choice).
+    #[default]
+    Emim,
+    /// Pearson chi-square statistic of the same table.
+    ChiSquare,
+    /// Raw joint frequency (a deliberately weak baseline).
+    JointCount,
+}
+
+/// Builder state: per-document term sets of both channels.
+#[derive(Debug, Default)]
+pub struct ThesaurusBuilder {
+    docs: Vec<(HashSet<String>, HashSet<String>)>,
+}
+
+impl ThesaurusBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one *annotated* document: its annotation terms (already
+    /// stemmed) and its visual terms.
+    pub fn add_document<S: AsRef<str>, T: AsRef<str>>(
+        &mut self,
+        text_terms: &[S],
+        visual_terms: &[T],
+    ) {
+        self.docs.push((
+            text_terms.iter().map(|s| s.as_ref().to_string()).collect(),
+            visual_terms.iter().map(|s| s.as_ref().to_string()).collect(),
+        ));
+    }
+
+    /// Number of documents added.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Mine associations and freeze the thesaurus.
+    pub fn build(&self, measure: AssocMeasure) -> AssociationThesaurus {
+        let n = self.docs.len() as f64;
+        let mut text_df: HashMap<String, u32> = HashMap::new();
+        let mut vis_df: HashMap<String, u32> = HashMap::new();
+        let mut joint: HashMap<(String, String), u32> = HashMap::new();
+        for (text, vis) in &self.docs {
+            for t in text {
+                *text_df.entry(t.clone()).or_insert(0) += 1;
+            }
+            for v in vis {
+                *vis_df.entry(v.clone()).or_insert(0) += 1;
+            }
+            for t in text {
+                for v in vis {
+                    *joint.entry((t.clone(), v.clone())).or_insert(0) += 1;
+                }
+            }
+        }
+        // score every co-occurring pair
+        let mut assoc: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        for ((t, v), &jc) in &joint {
+            let nt = text_df[t] as f64;
+            let nv = vis_df[v] as f64;
+            let score = match measure {
+                AssocMeasure::Emim => emim(jc as f64, nt, nv, n),
+                AssocMeasure::ChiSquare => chi_square(jc as f64, nt, nv, n),
+                AssocMeasure::JointCount => jc as f64,
+            };
+            if score > 0.0 {
+                assoc.entry(t.clone()).or_default().push((v.clone(), score));
+            }
+        }
+        for list in assoc.values_mut() {
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        AssociationThesaurus { assoc, measure }
+    }
+}
+
+/// Positive pointwise/expected mutual information over the 2×2 presence
+/// table (only the co-presence cell contributes positively; negative
+/// associations are clipped to zero, as PhraseFinder effectively does by
+/// ranking).
+fn emim(joint: f64, nt: f64, nv: f64, n: f64) -> f64 {
+    if joint == 0.0 || n == 0.0 {
+        return 0.0;
+    }
+    let p_tv = joint / n;
+    let p_t = nt / n;
+    let p_v = nv / n;
+    let ratio = p_tv / (p_t * p_v);
+    if ratio <= 1.0 {
+        0.0
+    } else {
+        p_tv * ratio.ln()
+    }
+}
+
+/// Pearson chi-square of the presence/absence table, clipped to positive
+/// association only.
+fn chi_square(joint: f64, nt: f64, nv: f64, n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let expected = nt * nv / n;
+    if expected == 0.0 || joint <= expected {
+        return 0.0;
+    }
+    let cells = [
+        (joint, expected),
+        (nt - joint, nt - expected),
+        (nv - joint, nv - expected),
+        (n - nt - nv + joint, n - nt - nv + expected),
+    ];
+    cells
+        .iter()
+        .filter(|(_, e)| *e > 0.0)
+        .map(|(o, e)| (o - e) * (o - e) / e)
+        .sum()
+}
+
+/// The frozen thesaurus: text term → ranked `(visual term, strength)`.
+#[derive(Debug, Clone)]
+pub struct AssociationThesaurus {
+    assoc: HashMap<String, Vec<(String, f64)>>,
+    measure: AssocMeasure,
+}
+
+impl AssociationThesaurus {
+    /// The measure the thesaurus was built with.
+    pub fn measure(&self) -> AssocMeasure {
+        self.measure
+    }
+
+    /// Ranked associations of one text term.
+    pub fn associations(&self, term: &str) -> &[(String, f64)] {
+        self.assoc.get(term).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of text terms with at least one association.
+    pub fn n_terms(&self) -> usize {
+        self.assoc.len()
+    }
+
+    /// Expand a weighted text query into a weighted visual-term query:
+    /// per text term take the top `per_term` associations, accumulate
+    /// `query weight × association strength`, renormalise so the expansion
+    /// weights sum to 1, and keep the overall top `max_terms`.
+    ///
+    /// This is the PhraseFinder view: the strengths act as beliefs in the
+    /// visual *concepts* given the query.
+    pub fn expand(
+        &self,
+        query: &[(String, f64)],
+        per_term: usize,
+        max_terms: usize,
+    ) -> Vec<(String, f64)> {
+        let mut acc: HashMap<&str, f64> = HashMap::new();
+        for (t, w) in query {
+            for (v, s) in self.associations(t).iter().take(per_term) {
+                *acc.entry(v.as_str()).or_insert(0.0) += w * s;
+            }
+        }
+        let mut out: Vec<(String, f64)> =
+            acc.into_iter().map(|(v, s)| (v.to_string(), s)).collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(max_terms);
+        let total: f64 = out.iter().map(|(_, s)| s).sum();
+        if total > 0.0 {
+            for (_, s) in &mut out {
+                *s /= total;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus where "sunset" co-occurs with rgb_0, "forest" with rgb_1,
+    /// and "photo" with everything (a stop-like word).
+    fn builder() -> ThesaurusBuilder {
+        let mut b = ThesaurusBuilder::new();
+        for _ in 0..10 {
+            b.add_document(&["sunset", "photo"], &["rgb_0", "gabor_2"]);
+        }
+        for _ in 0..10 {
+            b.add_document(&["forest", "photo"], &["rgb_1", "gabor_5"]);
+        }
+        for _ in 0..2 {
+            b.add_document(&["sunset"], &["rgb_1"]); // a little noise
+        }
+        b
+    }
+
+    #[test]
+    fn emim_ranks_characteristic_clusters_first() {
+        let th = builder().build(AssocMeasure::Emim);
+        let a = th.associations("sunset");
+        assert!(!a.is_empty());
+        assert!(a[0].0 == "rgb_0" || a[0].0 == "gabor_2", "top was {:?}", a[0]);
+        let f = th.associations("forest");
+        assert!(f[0].0 == "rgb_1" || f[0].0 == "gabor_5");
+    }
+
+    #[test]
+    fn uninformative_words_get_weak_associations() {
+        let th = builder().build(AssocMeasure::Emim);
+        // "photo" occurs everywhere → ratio ≈ 1 → clipped to no/weak assoc
+        let p = th.associations("photo");
+        let s = th.associations("sunset");
+        let p_best = p.first().map_or(0.0, |x| x.1);
+        let s_best = s.first().map_or(0.0, |x| x.1);
+        assert!(s_best > p_best, "{s_best} vs {p_best}");
+    }
+
+    #[test]
+    fn chi_square_agrees_on_the_top_association() {
+        let emim_th = builder().build(AssocMeasure::Emim);
+        let chi_th = builder().build(AssocMeasure::ChiSquare);
+        let e = &emim_th.associations("forest")[0].0;
+        let c = &chi_th.associations("forest")[0].0;
+        assert_eq!(e, c);
+    }
+
+    #[test]
+    fn joint_count_is_fooled_by_frequency() {
+        // joint count cannot discount ubiquitous visual terms
+        let mut b = ThesaurusBuilder::new();
+        for _ in 0..20 {
+            b.add_document(&["sunset"], &["common_0"]);
+        }
+        for i in 0..20 {
+            let other = if i < 10 { "sunset" } else { "forest" };
+            b.add_document(&[other], &["common_0", "rare_1"]);
+        }
+        let jc = b.build(AssocMeasure::JointCount);
+        assert_eq!(jc.associations("sunset")[0].0, "common_0");
+    }
+
+    #[test]
+    fn expansion_produces_normalised_weights() {
+        let th = builder().build(AssocMeasure::Emim);
+        let q = vec![("sunset".to_string(), 1.0)];
+        let exp = th.expand(&q, 3, 5);
+        assert!(!exp.is_empty());
+        let total: f64 = exp.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // best expansion should be a sunset cluster
+        assert!(exp[0].0 == "rgb_0" || exp[0].0 == "gabor_2");
+    }
+
+    #[test]
+    fn expansion_of_unknown_term_is_empty() {
+        let th = builder().build(AssocMeasure::Emim);
+        let exp = th.expand(&[("xyzzy".to_string(), 1.0)], 3, 5);
+        assert!(exp.is_empty());
+    }
+
+    #[test]
+    fn expansion_respects_limits() {
+        let th = builder().build(AssocMeasure::Emim);
+        let q = vec![("sunset".to_string(), 1.0), ("forest".to_string(), 1.0)];
+        let exp = th.expand(&q, 2, 3);
+        assert!(exp.len() <= 3);
+    }
+
+    #[test]
+    fn multi_term_queries_merge_evidence() {
+        let th = builder().build(AssocMeasure::Emim);
+        let q = vec![("sunset".to_string(), 2.0), ("forest".to_string(), 0.5)];
+        let exp = th.expand(&q, 4, 10);
+        // sunset clusters should outrank forest clusters due to weight
+        let sunset_pos = exp.iter().position(|(v, _)| v == "rgb_0" || v == "gabor_2");
+        let forest_pos = exp.iter().position(|(v, _)| v == "rgb_1" || v == "gabor_5");
+        assert!(sunset_pos.unwrap() < forest_pos.unwrap());
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_thesaurus() {
+        let th = ThesaurusBuilder::new().build(AssocMeasure::Emim);
+        assert_eq!(th.n_terms(), 0);
+        assert!(th.associations("anything").is_empty());
+    }
+}

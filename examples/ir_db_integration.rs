@@ -1,0 +1,69 @@
+//! "Efficient integration of information and data retrieval": combine
+//! relational selection with probabilistic ranking in single Moa queries,
+//! and inspect what the optimizer does to them.
+//!
+//! ```sh
+//! cargo run --example ir_db_integration
+//! ```
+
+use mirror::core::{MirrorConfig, MirrorDbms};
+use mirror::media::{RobotConfig, WebRobot};
+use mirror::moa::{parse_expr, OptConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = WebRobot::new(RobotConfig {
+        n_images: 60,
+        image_size: 24,
+        unannotated_fraction: 0.2,
+        seed: 9,
+    })
+    .crawl();
+    let mut db = MirrorDbms::new(MirrorConfig::default());
+    db.ingest(&corpus)?;
+
+    db.env().bind_query("query", vec![("sunset".into(), 1.0), ("glow".into(), 1.0)]);
+
+    // 1. content + structure in one expression: rank only ocean images
+    let combined = "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](
+                      select[contains(THIS.source, \"/sunset/\")](ImageLibraryInternal)))";
+    println!("combined select ∘ rank query:\n  {combined}\n");
+    let out = db.moa_query(combined)?;
+    println!("ranked {} surviving documents\n", out.len());
+
+    // 2. the same query written select-after-map: the rewriter pushes the
+    //    selection below the ranking so getBL only touches survivors
+    let sloppy = "select[contains(THIS.source, \"/sunset/\")](
+                    map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](ImageLibraryInternal)))";
+    let engine_opt = db.engine();
+    println!("optimized plan for the select-after-map formulation:");
+    println!("{}", engine_opt.explain(sloppy)?);
+
+    let raw_engine = mirror::moa::MoaEngine::with_opt(Arc::clone(db.env()), OptConfig::none());
+    println!("unoptimized plan for the same query:");
+    println!("{}", raw_engine.explain(sloppy)?);
+
+    // 3. measure the difference
+    let expr = parse_expr(sloppy)?;
+    let t0 = std::time::Instant::now();
+    let (opt_out, opt_stats) = engine_opt.query_with_stats(&expr)?;
+    let t_opt = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let (raw_out, raw_stats) = raw_engine.query_with_stats(&expr)?;
+    let t_raw = t1.elapsed();
+    println!("optimized:   {} rows, {}", opt_out.len(), opt_stats.summary());
+    println!("unoptimized: {} rows, {}", raw_out.len(), raw_stats.summary());
+    println!(
+        "wall time: optimized {t_opt:?} vs unoptimized {t_raw:?} \
+         (rows produced: {} vs {})",
+        opt_stats.rows_produced, raw_stats.rows_produced
+    );
+
+    // 4. arithmetic over two content channels in one expression
+    db.env().bind_query("vq", vec![("rgb_0".into(), 1.0)]);
+    let two_channel = "map[sum(getBL(THIS.annotation, query, stats)) * 0.7
+                          + sum(getBL(THIS.image, vq, stats)) * 0.3](ImageLibraryInternal)";
+    let both = db.moa_query(two_channel)?;
+    println!("\ntwo-channel evidence combination returned {} beliefs", both.len());
+    Ok(())
+}

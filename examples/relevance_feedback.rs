@@ -1,0 +1,79 @@
+//! Relevance feedback across query sessions (end of Section 5.2).
+//!
+//! The user queries, marks the relevant images among the top results, and
+//! the system expands both channels of the query from the judged
+//! documents. Precision improves (or holds) across iterations.
+//!
+//! ```sh
+//! cargo run --release --example relevance_feedback
+//! ```
+
+use mirror::core::eval::precision_at_k;
+use mirror::core::feedback::{FeedbackParams, FeedbackQuery};
+use mirror::core::{MirrorConfig, MirrorDbms};
+use mirror::media::{RobotConfig, WebRobot};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let robot = WebRobot::new(RobotConfig {
+        n_images: 90,
+        image_size: 28,
+        unannotated_fraction: 0.3,
+        seed: 31,
+    });
+    let corpus = robot.crawl();
+    let mut db = MirrorDbms::new(MirrorConfig::default());
+    db.ingest(&corpus)?;
+
+    const K: usize = 10;
+    let target_theme = 1; // "forest"
+    let theme_name = robot.themes()[target_theme].name;
+    let is_relevant = |oid: u32| db.docs()[oid as usize].theme == target_theme;
+
+    println!("target theme: {theme_name}; initial query: \"forest\"\n");
+    let mut query = FeedbackQuery::from_text("forest");
+    let mut results = db.run_feedback_query(&query, 0.5, K)?;
+
+    for round in 0..4 {
+        let oids: Vec<_> = results.iter().map(|r| r.oid).collect();
+        let p = precision_at_k(&oids, is_relevant, K);
+        println!(
+            "round {round}: precision@{K} = {p:.3}  (query: {} text terms, {} visual terms)",
+            query.text.len(),
+            query.visual.len()
+        );
+        for r in results.iter().take(3) {
+            println!(
+                "    {:.4} {} {}",
+                r.score,
+                r.url,
+                if is_relevant(r.oid) { "✓" } else { "✗" }
+            );
+        }
+        // the user marks the true positives of this round
+        let relevant: Vec<_> = results.iter().map(|r| r.oid).filter(|&o| is_relevant(o)).collect();
+        if relevant.is_empty() {
+            println!("    no relevant results to feed back; stopping");
+            break;
+        }
+        let (new_results, improved) =
+            db.query_with_feedback(&query, &relevant, FeedbackParams::default(), 0.5, K)?;
+        results = new_results;
+        query = improved;
+    }
+
+    let final_p = precision_at_k(
+        &results.iter().map(|r| r.oid).collect::<Vec<_>>(),
+        is_relevant,
+        K,
+    );
+    println!("\nfinal precision@{K}: {final_p:.3}");
+    println!(
+        "expanded text terms: {:?}",
+        query.text.iter().map(|(t, w)| format!("{t}:{w:.2}")).collect::<Vec<_>>()
+    );
+    println!(
+        "expanded visual terms: {:?}",
+        query.visual.iter().take(6).map(|(t, w)| format!("{t}:{w:.2}")).collect::<Vec<_>>()
+    );
+    Ok(())
+}

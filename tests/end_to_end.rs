@@ -1,0 +1,191 @@
+//! End-to-end integration tests spanning every crate: the full Section 5
+//! demo pipeline, the paper's queries, and the cross-layer invariants.
+
+use mirror::core::eval::{average_precision, precision_at_k};
+use mirror::core::{Clustering, MirrorConfig, MirrorDbms, INTERNAL};
+use mirror::media::{RobotConfig, WebRobot};
+use mirror::moa::QueryOutput;
+use std::sync::OnceLock;
+
+fn corpus() -> &'static Vec<mirror::media::CrawledImage> {
+    static C: OnceLock<Vec<mirror::media::CrawledImage>> = OnceLock::new();
+    C.get_or_init(|| {
+        WebRobot::new(RobotConfig {
+            n_images: 60,
+            image_size: 24,
+            unannotated_fraction: 0.3,
+            seed: 77,
+        })
+        .crawl()
+    })
+}
+
+fn db() -> &'static MirrorDbms {
+    static DB: OnceLock<MirrorDbms> = OnceLock::new();
+    DB.get_or_init(|| {
+        let mut db = MirrorDbms::new(MirrorConfig { keep_raw: true, ..Default::default() });
+        db.ingest(corpus()).unwrap();
+        db
+    })
+}
+
+#[test]
+fn pipeline_builds_the_internal_schema_of_section_5() {
+    let db = db();
+    let meta = db.env().collection(INTERNAL).unwrap();
+    assert_eq!(meta.count, 60);
+    // the three attributes of ImageLibraryInternal
+    assert!(meta.elem_ty.field("source").is_some());
+    assert!(meta.elem_ty.field("annotation").is_some());
+    assert!(meta.elem_ty.field("image").is_some());
+    // flattened BATs present in the kernel catalog
+    let names = db.env().catalog().names();
+    for expected in [
+        "ImageLibraryInternal__source",
+        "ImageLibraryInternal__self",
+        "ImageLibraryInternal__annotation__term",
+        "ImageLibraryInternal__annotation__post_d",
+        "ImageLibraryInternal__image__term",
+        "ImageLibraryInternal__image__dl",
+    ] {
+        assert!(names.contains(&expected.to_string()), "missing {expected}");
+    }
+}
+
+#[test]
+fn paper_ranking_query_runs_on_both_channels() {
+    let db = db();
+    db.env().bind_query("e2equery", vec![("sunset".into(), 1.0)]);
+    for attr in ["annotation", "image"] {
+        let out = db
+            .moa_query(&format!(
+                "map[sum(THIS)](map[getBL(THIS.{attr}, e2equery, stats)]({INTERNAL}))"
+            ))
+            .unwrap();
+        assert_eq!(out.len(), 60, "channel {attr}");
+    }
+}
+
+#[test]
+fn text_retrieval_beats_random_on_ground_truth() {
+    let db = db();
+    let results = db.query_text("sunset glow dusk", 10).unwrap();
+    let oids: Vec<_> = results.iter().map(|r| r.oid).collect();
+    let p = precision_at_k(&oids, |o| db.docs()[o as usize].theme == 0, 10);
+    // ~1/6 themes → random precision ≈ 0.17; require a clear win
+    assert!(p >= 0.5, "precision@10 = {p}");
+}
+
+#[test]
+fn dual_coding_reaches_unannotated_documents() {
+    let db = db();
+    let dual = db.query_dual("sunset glow", 0.6, 30).unwrap();
+    assert!(
+        dual.iter().any(|r| !db.docs()[r.oid as usize].annotated),
+        "dual-coded retrieval should surface un-annotated images"
+    );
+}
+
+#[test]
+fn combined_structure_content_query_filters_and_ranks() {
+    let db = db();
+    let results = db.query_text_filtered("sunset", "/sunset/", 30).unwrap();
+    assert!(!results.is_empty());
+    assert!(results.iter().all(|r| r.url.contains("/sunset/")));
+}
+
+#[test]
+fn relational_queries_coexist_with_ranking() {
+    let db = db();
+    // pure data retrieval over the same collection
+    let out = db
+        .moa_query(&format!(
+            "select[contains(THIS.source, \"/ocean/\")]({INTERNAL})"
+        ))
+        .unwrap();
+    let QueryOutput::Oids(oids) = out else { panic!("expected oids") };
+    assert!(!oids.is_empty());
+    for oid in &oids {
+        assert!(db.docs()[*oid as usize].url.contains("/ocean/"));
+    }
+    // count
+    let out = db.moa_query(&format!("count({INTERNAL})")).unwrap();
+    assert_eq!(out.scalar().and_then(|v| v.as_int()), Some(60));
+}
+
+#[test]
+fn naive_interpreter_agrees_with_flattened_engine_end_to_end() {
+    let db = db();
+    db.env().bind_query("e2enaive", vec![("sunset".into(), 1.0), ("glow".into(), 1.0)]);
+    let q = format!(
+        "map[sum(THIS)](map[getBL(THIS.annotation, e2enaive, stats)]({INTERNAL}))"
+    );
+    let flat = db.moa_query(&q).unwrap();
+    let naive = mirror::moa::naive::NaiveEngine::new(db.env()).query(&q).unwrap();
+    let (QueryOutput::Pairs(f), QueryOutput::Pairs(n)) = (&flat, &naive) else {
+        panic!("expected pairs");
+    };
+    for (oid, v) in n {
+        let fv = f.iter().find(|(o, _)| o == oid).unwrap().1.as_float().unwrap();
+        let nv = v.as_float().unwrap();
+        assert!((fv - nv).abs() < 1e-9, "doc {oid}: {fv} vs {nv}");
+    }
+}
+
+#[test]
+fn optimizer_config_does_not_change_results() {
+    let corpus = corpus();
+    let mut opt_db = MirrorDbms::with_defaults();
+    opt_db.ingest(corpus).unwrap();
+    let mut raw_db = MirrorDbms::with_defaults();
+    raw_db.ingest(corpus).unwrap();
+    raw_db.set_opt(mirror::moa::OptConfig::none());
+    let a = opt_db.query_text("forest moss trail", 15).unwrap();
+    let b = raw_db.query_text("forest moss trail", 15).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.oid, y.oid);
+        assert!((x.score - y.score).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn kmeans_and_autoclass_pipelines_both_retrieve() {
+    let corpus = corpus();
+    for clustering in [Clustering::AutoClass, Clustering::KMeans(6)] {
+        let mut db = MirrorDbms::new(MirrorConfig { clustering, ..Default::default() });
+        db.ingest(corpus).unwrap();
+        let r = db.query_dual("ocean wave", 0.5, 10).unwrap();
+        assert!(!r.is_empty(), "{clustering:?} produced no results");
+    }
+}
+
+#[test]
+fn average_precision_of_theme_queries_is_reasonable() {
+    let db = db();
+    let queries = [("sunset glow", 0usize), ("forest tree moss", 1), ("ocean wave surf", 2)];
+    let mut aps = Vec::new();
+    for (q, theme) in queries {
+        let results = db.query_dual(q, 0.5, 60).unwrap();
+        let oids: Vec<_> = results.iter().map(|r| r.oid).collect();
+        let n_rel = db.docs().iter().filter(|d| d.theme == theme).count();
+        aps.push(average_precision(&oids, |o| db.docs()[o as usize].theme == theme, n_rel));
+    }
+    let map = mirror::core::eval::mean(&aps);
+    assert!(map > 0.4, "mean average precision {map} too low: {aps:?}");
+}
+
+#[test]
+fn catalog_is_fully_binary_relational() {
+    // every registered object in the physical layer is a two-column BAT —
+    // the paper's core physical claim
+    let db = db();
+    for name in db.env().catalog().names() {
+        let bat = db.env().catalog().get(&name).unwrap();
+        assert_eq!(
+            bat.head().len(),
+            bat.tail().len(),
+            "BAT {name} has asymmetric columns"
+        );
+    }
+}
