@@ -27,12 +27,8 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e2_optimizer");
     group.sample_size(20);
-    group.bench_function("optimized", |bch| {
-        bch.iter(|| optimised.query(SLOPPY_QUERY).unwrap())
-    });
-    group.bench_function("unoptimized", |bch| {
-        bch.iter(|| ablated.query(SLOPPY_QUERY).unwrap())
-    });
+    group.bench_function("optimized", |bch| bch.iter(|| optimised.query(SLOPPY_QUERY).unwrap()));
+    group.bench_function("unoptimized", |bch| bch.iter(|| ablated.query(SLOPPY_QUERY).unwrap()));
     // individual switches
     for (label, opt) in [
         ("pushdown_only", OptConfig { pushdown: true, peephole: false, memoize: false }),

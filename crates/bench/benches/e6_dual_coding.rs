@@ -8,27 +8,21 @@ use mirror_core::Clustering;
 
 fn bench(c: &mut Criterion) {
     let db = ingested_db(60, 42, Clustering::AutoClass);
-    let visual = db
-        .thesaurus()
-        .unwrap()
-        .expand(&mirror_core::query::weighted_terms("sunset glow"), 4, 12);
+    let visual =
+        db.thesaurus().unwrap().expand(&mirror_core::query::weighted_terms("sunset glow"), 4, 12);
 
     let mut group = c.benchmark_group("e6_dual_coding");
     group.sample_size(30);
-    group.bench_function("text_only", |b| {
-        b.iter(|| db.query_text("sunset glow", 10).unwrap())
-    });
-    group.bench_function("visual_only", |b| {
-        b.iter(|| db.query_visual(&visual, 10).unwrap())
-    });
-    group.bench_function("dual", |b| {
-        b.iter(|| db.query_dual("sunset glow", 0.5, 10).unwrap())
-    });
+    group.bench_function("text_only", |b| b.iter(|| db.query_text("sunset glow", 10).unwrap()));
+    group.bench_function("visual_only", |b| b.iter(|| db.query_visual(&visual, 10).unwrap()));
+    group.bench_function("dual", |b| b.iter(|| db.query_dual("sunset glow", 0.5, 10).unwrap()));
     group.bench_function("thesaurus_expansion", |b| {
         b.iter(|| {
-            db.thesaurus()
-                .unwrap()
-                .expand(&mirror_core::query::weighted_terms("sunset glow"), 4, 12)
+            db.thesaurus().unwrap().expand(
+                &mirror_core::query::weighted_terms("sunset glow"),
+                4,
+                12,
+            )
         })
     });
     group.finish();

@@ -28,9 +28,7 @@ fn bench(c: &mut Criterion) {
         let builder = feature_builder(n);
         group.bench_with_input(BenchmarkId::new("autoclass_bic", n), &n, |b, _| {
             b.iter(|| {
-                builder
-                    .build_autoclass(&AutoClass::new(AutoClassConfig::default()))
-                    .total_terms()
+                builder.build_autoclass(&AutoClass::new(AutoClassConfig::default())).total_terms()
             })
         });
         group.bench_with_input(BenchmarkId::new("kmeans_fixed_k", n), &n, |b, _| {

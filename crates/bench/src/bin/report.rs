@@ -43,10 +43,7 @@ fn e1() {
         let t_naive = median_time_ms(3, || {
             naive.query(RANKING_QUERY).unwrap();
         });
-        println!(
-            "| {n} | {t_flat:.2} | {t_naive:.2} | {:.1}× |",
-            t_naive / t_flat.max(1e-6)
-        );
+        println!("| {n} | {t_flat:.2} | {t_naive:.2} | {:.1}× |", t_naive / t_flat.max(1e-6));
     }
     println!();
 }
@@ -72,10 +69,7 @@ fn e2() {
         let t = median_time_ms(5, || {
             eng.query(query).unwrap();
         });
-        println!(
-            "| {label} | {t:.2} | {} | {} |",
-            stats.rows_produced, stats.ops_evaluated
-        );
+        println!("| {label} | {t:.2} | {} | {} |", stats.rows_produced, stats.ops_evaluated);
     }
     println!();
 }
@@ -147,38 +141,29 @@ fn e6() {
         ("ocean wave surf", 2),
         ("snow winter mountain", 5),
     ];
-    println!("| query | P@10 text | P@10 dual | AP text | AP dual | un-annotated found (text/dual) |");
-    println!("|-------|----------:|----------:|--------:|--------:|-------------------------------:|");
+    println!(
+        "| query | P@10 text | P@10 dual | AP text | AP dual | un-annotated found (text/dual) |"
+    );
+    println!(
+        "|-------|----------:|----------:|--------:|--------:|-------------------------------:|"
+    );
     let mut ap_t_all = Vec::new();
     let mut ap_d_all = Vec::new();
     for (q, theme) in queries {
         let rel = |o: u32| db.docs()[o as usize].theme == theme;
         let n_rel = db.docs().iter().filter(|d| d.theme == theme).count();
-        let text: Vec<u32> =
-            db.query_text(q, 120).unwrap().iter().map(|r| r.oid).collect();
-        let dual: Vec<u32> =
-            db.query_dual(q, 0.5, 120).unwrap().iter().map(|r| r.oid).collect();
+        let text: Vec<u32> = db.query_text(q, 120).unwrap().iter().map(|r| r.oid).collect();
+        let dual: Vec<u32> = db.query_dual(q, 0.5, 120).unwrap().iter().map(|r| r.oid).collect();
         let un = |oids: &[u32]| {
-            oids.iter()
-                .filter(|&&o| rel(o) && !db.docs()[o as usize].annotated)
-                .count()
+            oids.iter().filter(|&&o| rel(o) && !db.docs()[o as usize].annotated).count()
         };
         let (pt, pd) = (precision_at_k(&text, rel, 10), precision_at_k(&dual, rel, 10));
-        let (at, ad) =
-            (average_precision(&text, rel, n_rel), average_precision(&dual, rel, n_rel));
+        let (at, ad) = (average_precision(&text, rel, n_rel), average_precision(&dual, rel, n_rel));
         ap_t_all.push(at);
         ap_d_all.push(ad);
-        println!(
-            "| {q} | {pt:.2} | {pd:.2} | {at:.3} | {ad:.3} | {}/{} |",
-            un(&text),
-            un(&dual)
-        );
+        println!("| {q} | {pt:.2} | {pd:.2} | {at:.3} | {ad:.3} | {}/{} |", un(&text), un(&dual));
     }
-    println!(
-        "| **mean** | | | **{:.3}** | **{:.3}** | |",
-        mean(&ap_t_all),
-        mean(&ap_d_all)
-    );
+    println!("| **mean** | | | **{:.3}** | **{:.3}** | |", mean(&ap_t_all), mean(&ap_d_all));
     println!();
 }
 
@@ -196,11 +181,8 @@ fn e7() {
     println!("|------:|-----:|----------:|--------------------------------:|-----------:|-------------:|");
     for round in 0..4 {
         let oids: Vec<u32> = results.iter().map(|r| r.oid).collect();
-        let unann = oids
-            .iter()
-            .take(25)
-            .filter(|&&o| rel(o) && !db.docs()[o as usize].annotated)
-            .count();
+        let unann =
+            oids.iter().take(25).filter(|&&o| rel(o) && !db.docs()[o as usize].annotated).count();
         println!(
             "| {round} | {:.2} | {:.2} | {} | {} | {} |",
             precision_at_k(&oids, rel, 10),
@@ -213,9 +195,8 @@ fn e7() {
         if relevant.is_empty() {
             break;
         }
-        let (r, q) = db
-            .query_with_feedback(&query, &relevant, FeedbackParams::default(), 0.5, 25)
-            .unwrap();
+        let (r, q) =
+            db.query_with_feedback(&query, &relevant, FeedbackParams::default(), 0.5, 25).unwrap();
         results = r;
         query = q;
     }
@@ -256,17 +237,11 @@ fn e8() {
         let mut db = MirrorDbms::new(MirrorConfig { clustering, ..Default::default() });
         db.ingest(&corpus).unwrap();
         let mut aps = Vec::new();
-        for (q, theme) in
-            [("sunset glow", 0usize), ("forest tree", 1), ("ocean wave", 2)]
-        {
+        for (q, theme) in [("sunset glow", 0usize), ("forest tree", 1), ("ocean wave", 2)] {
             let ranked: Vec<u32> =
                 db.query_dual(q, 0.5, 96).unwrap().iter().map(|r| r.oid).collect();
             let n_rel = db.docs().iter().filter(|d| d.theme == theme).count();
-            aps.push(average_precision(
-                &ranked,
-                |o| db.docs()[o as usize].theme == theme,
-                n_rel,
-            ));
+            aps.push(average_precision(&ranked, |o| db.docs()[o as usize].theme == theme, n_rel));
         }
         println!("| {label} | {:.3} |", mean(&aps));
     }

@@ -15,11 +15,11 @@ use std::sync::Arc;
 
 /// Vocabulary pool for synthetic annotations (theme words + filler).
 const WORD_POOL: &[&str] = &[
-    "sunset", "orange", "horizon", "glow", "evening", "dusk", "forest", "tree", "green",
-    "leaf", "moss", "trail", "ocean", "wave", "blue", "water", "surf", "tide", "desert",
-    "sand", "dune", "arid", "city", "building", "street", "skyline", "tower", "snow",
-    "white", "winter", "ice", "mountain", "peak", "photo", "picture", "view", "image",
-    "scene", "light", "shadow", "cloud", "storm", "river", "valley", "meadow", "stone",
+    "sunset", "orange", "horizon", "glow", "evening", "dusk", "forest", "tree", "green", "leaf",
+    "moss", "trail", "ocean", "wave", "blue", "water", "surf", "tide", "desert", "sand", "dune",
+    "arid", "city", "building", "street", "skyline", "tower", "snow", "white", "winter", "ice",
+    "mountain", "peak", "photo", "picture", "view", "image", "scene", "light", "shadow", "cloud",
+    "storm", "river", "valley", "meadow", "stone",
 ];
 
 /// Build a text-only environment (`TraditionalImgLib` at scale): `n`
@@ -71,13 +71,8 @@ pub fn engine(env: &Arc<Env>) -> MoaEngine {
 
 /// Crawl a themed image corpus for the multimedia experiments.
 pub fn image_corpus(n: usize, seed: u64) -> Vec<CrawledImage> {
-    WebRobot::new(RobotConfig {
-        n_images: n,
-        image_size: 24,
-        unannotated_fraction: 0.3,
-        seed,
-    })
-    .crawl()
+    WebRobot::new(RobotConfig { n_images: n, image_size: 24, unannotated_fraction: 0.3, seed })
+        .crawl()
 }
 
 /// A fully ingested Mirror instance over an image corpus.

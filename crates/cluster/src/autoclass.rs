@@ -79,11 +79,7 @@ impl MixtureModel {
     /// Most probable class for a point.
     pub fn classify(&self, x: &[f64]) -> usize {
         let post = self.posterior(x);
-        post.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        post.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
     }
 }
 

@@ -38,10 +38,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Opti
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
     while centroids.len() < k {
-        let d2: Vec<f64> = points
-            .iter()
-            .map(|p| nearest(&centroids, p).1.powi(2))
-            .collect();
+        let d2: Vec<f64> = points.iter().map(|p| nearest(&centroids, p).1.powi(2)).collect();
         let total: f64 = d2.iter().sum();
         if total == 0.0 {
             // all points identical to chosen centroids; duplicate one
@@ -95,11 +92,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Opti
             break;
         }
     }
-    let inertia = points
-        .iter()
-        .zip(&assignment)
-        .map(|(p, &a)| dist2(p, &centroids[a]))
-        .sum();
+    let inertia = points.iter().zip(&assignment).map(|(p, &a)| dist2(p, &centroids[a])).sum();
     Some(KMeansResult { centroids, assignment, inertia, iterations })
 }
 

@@ -49,10 +49,7 @@ pub(crate) mod test_data {
         let mut labels = Vec::new();
         for (ci, c) in centers.iter().enumerate() {
             for _ in 0..n_per {
-                pts.push(vec![
-                    c[0] + rng.gen_range(-0.8..0.8),
-                    c[1] + rng.gen_range(-0.8..0.8),
-                ]);
+                pts.push(vec![c[0] + rng.gen_range(-0.8..0.8), c[1] + rng.gen_range(-0.8..0.8)]);
                 labels.push(ci);
             }
         }

@@ -116,11 +116,7 @@ impl MirrorDbms {
         self.ranked_public(out?, k)
     }
 
-    fn ranked_public(
-        &self,
-        out: moa::QueryOutput,
-        k: usize,
-    ) -> moa::Result<Vec<RankedResult>> {
+    fn ranked_public(&self, out: moa::QueryOutput, k: usize) -> moa::Result<Vec<RankedResult>> {
         let moa::QueryOutput::Pairs(pairs) = out else {
             return Err(MoaError::Type("expected a belief column".into()));
         };
@@ -149,8 +145,7 @@ fn top_terms(
     n: usize,
     existing: &[(String, f64)],
 ) -> Vec<(String, f64)> {
-    let have: std::collections::HashSet<&str> =
-        existing.iter().map(|(t, _)| t.as_str()).collect();
+    let have: std::collections::HashSet<&str> = existing.iter().map(|(t, _)| t.as_str()).collect();
     let stats = index.stats();
     let mut scores: HashMap<String, f64> = HashMap::new();
     for (tid, term) in index.dict().iter() {
@@ -238,9 +233,7 @@ mod tests {
             .take(4)
             .collect();
         assert!(!relevant.is_empty());
-        let improved = db
-            .expand_query(&q, &relevant, FeedbackParams::default())
-            .unwrap();
+        let improved = db.expand_query(&q, &relevant, FeedbackParams::default()).unwrap();
         assert!(improved.text.len() > q.text.len());
         assert!(!improved.visual.is_empty(), "visual channel should gain terms");
         // original term keeps full weight; expansions are dampened
@@ -266,18 +259,14 @@ mod tests {
             .filter(|r| db.docs()[r.oid as usize].theme == target_theme)
             .map(|r| r.oid)
             .collect();
-        let (r1, _) = db
-            .query_with_feedback(&q0, &relevant, FeedbackParams::default(), 0.5, 10)
-            .unwrap();
+        let (r1, _) =
+            db.query_with_feedback(&q0, &relevant, FeedbackParams::default(), 0.5, 10).unwrap();
         let p1 = crate::eval::precision_at_k(
             &r1.iter().map(|r| r.oid).collect::<Vec<_>>(),
             |oid| db.docs()[oid as usize].theme == target_theme,
             10,
         );
-        assert!(
-            p1 >= p0 - 1e-9,
-            "feedback degraded precision: {p0} -> {p1}"
-        );
+        assert!(p1 >= p0 - 1e-9, "feedback degraded precision: {p0} -> {p1}");
     }
 
     #[test]

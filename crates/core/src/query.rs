@@ -36,9 +36,9 @@ impl MirrorDbms {
         let terms = weighted_terms(text);
         let q = fresh_query_name("t");
         self.env().bind_query(&q, terms);
-        let out = self.engine().query(&format!(
-            "map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)]({INTERNAL}))"
-        ));
+        let out = self
+            .engine()
+            .query(&format!("map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)]({INTERNAL}))"));
         self.env().unbind_query(&q);
         self.ranked(out?, k)
     }
@@ -53,9 +53,9 @@ impl MirrorDbms {
     ) -> moa::Result<Vec<RankedResult>> {
         let q = fresh_query_name("v");
         self.env().bind_query(&q, visual_terms.to_vec());
-        let out = self.engine().query(&format!(
-            "map[sum(THIS)](map[getBL(THIS.image, {q}, stats)]({INTERNAL}))"
-        ));
+        let out = self
+            .engine()
+            .query(&format!("map[sum(THIS)](map[getBL(THIS.image, {q}, stats)]({INTERNAL}))"));
         self.env().unbind_query(&q);
         self.ranked(out?, k)
     }
@@ -72,15 +72,11 @@ impl MirrorDbms {
         visual_mix: f64,
         k: usize,
     ) -> moa::Result<Vec<RankedResult>> {
-        let th = self
-            .thesaurus()
-            .ok_or_else(|| MoaError::Unknown("thesaurus (ingest first)".into()))?;
+        let th =
+            self.thesaurus().ok_or_else(|| MoaError::Unknown("thesaurus (ingest first)".into()))?;
         let text_terms = weighted_terms(text);
-        let visual_terms = th.expand(
-            &text_terms,
-            self.config().expand_per_term,
-            self.config().expand_max_terms,
-        );
+        let visual_terms =
+            th.expand(&text_terms, self.config().expand_per_term, self.config().expand_max_terms);
         if visual_terms.is_empty() {
             return self.query_text(text, k);
         }
@@ -126,11 +122,7 @@ impl MirrorDbms {
     fn ranked(&self, out: QueryOutput, k: usize) -> moa::Result<Vec<RankedResult>> {
         let pairs = match out {
             QueryOutput::Pairs(p) => p,
-            other => {
-                return Err(MoaError::Type(format!(
-                    "ranking query returned {other:?}"
-                )))
-            }
+            other => return Err(MoaError::Type(format!("ranking query returned {other:?}"))),
         };
         let mut ranked: Vec<RankedResult> = pairs
             .into_iter()
@@ -193,10 +185,7 @@ mod tests {
     fn visual_query_runs_over_image_channel() {
         let db = db();
         // borrow the visual terms of doc 0 via the thesaurus expansion
-        let exp = db
-            .thesaurus()
-            .unwrap()
-            .expand(&weighted_terms("sunset"), 4, 8);
+        let exp = db.thesaurus().unwrap().expand(&weighted_terms("sunset"), 4, 8);
         assert!(!exp.is_empty());
         let results = db.query_visual(&exp, 10).unwrap();
         assert!(!results.is_empty());
@@ -208,9 +197,7 @@ mod tests {
         let dual = db.query_dual("sunset glow", 0.6, 40).unwrap();
         // un-annotated sunset images are reachable only via the visual
         // channel; dual retrieval must surface at least one
-        let unannotated_hit = dual
-            .iter()
-            .any(|r| !db.docs()[r.oid as usize].annotated);
+        let unannotated_hit = dual.iter().any(|r| !db.docs()[r.oid as usize].annotated);
         assert!(unannotated_hit, "dual retrieval found no un-annotated documents");
     }
 

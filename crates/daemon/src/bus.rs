@@ -113,9 +113,7 @@ impl Bus {
         let mut topics = self.topics.write();
         if let Some(subs) = topics.get_mut(topic) {
             subs.retain(|tx| {
-                let ok = tx
-                    .send(Envelope { from: from.to_string(), msg: msg.clone() })
-                    .is_ok();
+                let ok = tx.send(Envelope { from: from.to_string(), msg: msg.clone() }).is_ok();
                 if ok {
                     delivered += 1;
                 }
@@ -132,8 +130,13 @@ impl Bus {
 
     /// All topics with at least one subscriber, sorted.
     pub fn topics(&self) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.topics.read().iter().filter(|(_, s)| !s.is_empty()).map(|(t, _)| t.clone()).collect();
+        let mut v: Vec<String> = self
+            .topics
+            .read()
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(t, _)| t.clone())
+            .collect();
         v.sort();
         v
     }

@@ -52,10 +52,8 @@ impl Daemon for ThesaurusDaemon {
 
     fn handle(&mut self, envelope: Envelope, _bus: &Bus) {
         let Message::FormulateQuery(req) = envelope.msg else { return };
-        let terms: Vec<(String, f64)> = ir::text::tokenize_stemmed(&req.text)
-            .into_iter()
-            .map(|t| (t, 1.0))
-            .collect();
+        let terms: Vec<(String, f64)> =
+            ir::text::tokenize_stemmed(&req.text).into_iter().map(|t| (t, 1.0)).collect();
         let expansion = self.thesaurus.expand(&terms, self.per_term, req.max_terms);
         let _ = req.reply.send(expansion);
     }

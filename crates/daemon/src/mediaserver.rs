@@ -54,17 +54,9 @@ impl Daemon for MediaServer {
 }
 
 /// Client helper: fetch a blob through the bus, blocking up to `timeout`.
-pub fn fetch_media(
-    bus: &Bus,
-    url: &str,
-    timeout: std::time::Duration,
-) -> Option<Vec<u8>> {
+pub fn fetch_media(bus: &Bus, url: &str, timeout: std::time::Duration) -> Option<Vec<u8>> {
     let (tx, rx) = crossbeam::channel::bounded(1);
-    bus.publish(
-        TOPIC_MEDIA,
-        "client",
-        Message::FetchMedia { url: url.to_string(), reply: tx },
-    );
+    bus.publish(TOPIC_MEDIA, "client", Message::FetchMedia { url: url.to_string(), reply: tx });
     rx.recv_timeout(timeout).ok().flatten()
 }
 

@@ -76,11 +76,7 @@ impl DaemonRuntime {
 
     /// Messages processed per daemon.
     pub fn processed_counts(&self) -> HashMap<String, u64> {
-        self.processed
-            .lock()
-            .iter()
-            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
-            .collect()
+        self.processed.lock().iter().map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed))).collect()
     }
 
     /// Total messages processed across all daemons.
@@ -153,11 +149,7 @@ mod tests {
 
         fn handle(&mut self, envelope: Envelope, bus: &Bus) {
             if let Message::ImageCrawled { url, .. } = envelope.msg {
-                bus.publish(
-                    "out",
-                    &self.name(),
-                    Message::ImageSegmented { url, segments: vec![] },
-                );
+                bus.publish("out", &self.name(), Message::ImageSegmented { url, segments: vec![] });
             }
         }
     }

@@ -61,8 +61,7 @@ impl BeliefParams {
         if tf == 0 {
             return self.alpha;
         }
-        self.alpha
-            + (1.0 - self.alpha) * self.ntf(tf, dl, avg_dl) * self.nidf(df, n_docs)
+        self.alpha + (1.0 - self.alpha) * self.ntf(tf, dl, avg_dl) * self.nidf(df, n_docs)
     }
 
     /// Belief in `term` given document `doc` of `index` — the
@@ -83,10 +82,7 @@ impl BeliefParams {
         posts
             .iter()
             .map(|p| {
-                (
-                    p.doc,
-                    self.belief(p.tf, df, index.doc_len(p.doc), stats.n_docs, stats.avg_dl),
-                )
+                (p.doc, self.belief(p.tf, df, index.doc_len(p.doc), stats.n_docs, stats.avg_dl))
             })
             .collect()
     }

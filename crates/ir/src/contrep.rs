@@ -116,9 +116,7 @@ impl Structure for Contrep {
     fn check_param(&self, param: &MoaType) -> moa::Result<()> {
         match param {
             MoaType::Atomic(_) => Ok(()),
-            other => Err(MoaError::Type(format!(
-                "CONTREP parameter must be atomic, got {other}"
-            ))),
+            other => Err(MoaError::Type(format!("CONTREP parameter must be atomic, got {other}"))),
         }
     }
 
@@ -149,12 +147,7 @@ impl Structure for Contrep {
         Ok(())
     }
 
-    fn compile_call(
-        &self,
-        method: &str,
-        prefix: &str,
-        args: &CallArgs<'_>,
-    ) -> moa::Result<Plan> {
+    fn compile_call(&self, method: &str, prefix: &str, args: &CallArgs<'_>) -> moa::Result<Plan> {
         if method != "getBL" {
             return Err(MoaError::Unknown(format!("CONTREP method '{method}'")));
         }
@@ -224,10 +217,8 @@ impl Structure for Contrep {
 /// Register (or refresh) the `contrep.getbl` operator in a kernel registry.
 fn register_getbl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
     ops.register(GETBL_OP, move |_ctx, inputs, params| {
-        let prefix = params
-            .first()
-            .and_then(Val::as_str)
-            .ok_or_else(|| MonetError::BadOpInvocation {
+        let prefix =
+            params.first().and_then(Val::as_str).ok_or_else(|| MonetError::BadOpInvocation {
                 op: GETBL_OP.into(),
                 msg: "first parameter must be the prefix".into(),
             })?;
@@ -249,11 +240,9 @@ fn register_getbl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
             query.push((t, w));
         }
         // optional domain restriction from the first BAT input
-        let domain: Option<monet::fxhash::FxHashSet<Oid>> = inputs.first().map(|bat| {
-            (0..bat.count())
-                .filter_map(|i| bat.head().oid_at(i).ok())
-                .collect()
-        });
+        let domain: Option<monet::fxhash::FxHashSet<Oid>> = inputs
+            .first()
+            .map(|bat| (0..bat.count()).filter_map(|i| bat.head().oid_at(i).ok()).collect());
         let total_w: f64 = query.iter().map(|(_, w)| w).sum();
         let mut docs: Vec<Oid> = Vec::new();
         let mut beliefs: Vec<f64> = Vec::new();
@@ -285,7 +274,8 @@ fn register_getbl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
                 }
             }
         }
-        Bat::new(Column::Oid(docs), Column::Float(beliefs))});
+        Bat::new(Column::Oid(docs), Column::Float(beliefs))
+    });
 }
 
 /// Create a store, register the CONTREP structure in `env`, and return the
@@ -372,14 +362,11 @@ mod tests {
         env.bind_query("query", terms.clone());
         let engine = MoaEngine::new(Arc::clone(&env));
         let out = engine
-            .query(
-                "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](TraditionalImgLib))",
-            )
+            .query("map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](TraditionalImgLib))")
             .unwrap();
         let pairs = out.pairs().unwrap().to_vec();
-        let network = store
-            .rank("TraditionalImgLib__annotation", &QueryNode::wsum_of(&terms))
-            .unwrap();
+        let network =
+            store.rank("TraditionalImgLib__annotation", &QueryNode::wsum_of(&terms)).unwrap();
         for (doc, expected) in network {
             let got = pairs.iter().find(|(o, _)| *o == doc).unwrap().1.as_float().unwrap();
             assert!(
@@ -428,10 +415,9 @@ mod tests {
     fn visual_contrep_keeps_raw_tokens() {
         let env = Env::new();
         let store = register_contrep(&env);
-        let (name, ty) = parse_define(
-            "define V as SET< TUPLE< Atomic<URL>: source, CONTREP<Image>: image >>;",
-        )
-        .unwrap();
+        let (name, ty) =
+            parse_define("define V as SET< TUPLE< Atomic<URL>: source, CONTREP<Image>: image >>;")
+                .unwrap();
         let rows = vec![
             MoaVal::Tuple(vec![MoaVal::str("u0"), MoaVal::str("gabor_21 rgb_3 gabor_21")]),
             MoaVal::Tuple(vec![MoaVal::str("u1"), MoaVal::str("rgb_3 tamura_7")]),

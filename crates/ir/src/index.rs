@@ -83,10 +83,7 @@ impl InvertedIndex {
     /// operation a tuple-at-a-time engine performs per (doc, term) pair.
     pub fn tf(&self, term: &str, doc: Oid) -> u32 {
         let Some(posts) = self.postings(term) else { return 0 };
-        posts
-            .binary_search_by_key(&doc, |p| p.doc)
-            .map(|i| posts[i].tf)
-            .unwrap_or(0)
+        posts.binary_search_by_key(&doc, |p| p.doc).map(|i| posts[i].tf).unwrap_or(0)
     }
 
     /// Collection statistics.

@@ -53,9 +53,7 @@ impl QueryNode {
 
     /// `#wsum` over weighted terms.
     pub fn wsum_of(terms: &[(String, f64)]) -> QueryNode {
-        QueryNode::WSum(
-            terms.iter().map(|(t, w)| QueryNode::weighted(t.clone(), *w)).collect(),
-        )
+        QueryNode::WSum(terms.iter().map(|(t, w)| QueryNode::weighted(t.clone(), *w)).collect())
     }
 
     /// All terms mentioned in the network.
@@ -68,7 +66,10 @@ impl QueryNode {
     fn collect_terms<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             QueryNode::Term { term, .. } => out.push(term),
-            QueryNode::Sum(c) | QueryNode::WSum(c) | QueryNode::And(c) | QueryNode::Or(c)
+            QueryNode::Sum(c)
+            | QueryNode::WSum(c)
+            | QueryNode::And(c)
+            | QueryNode::Or(c)
             | QueryNode::Max(c) => {
                 for n in c {
                     n.collect_terms(out);
@@ -82,9 +83,7 @@ impl QueryNode {
     /// absent from the map get the default belief α.
     pub fn eval(&self, term_beliefs: &HashMap<&str, f64>, alpha: f64) -> f64 {
         match self {
-            QueryNode::Term { term, .. } => {
-                *term_beliefs.get(term.as_str()).unwrap_or(&alpha)
-            }
+            QueryNode::Term { term, .. } => *term_beliefs.get(term.as_str()).unwrap_or(&alpha),
             QueryNode::Sum(children) => {
                 if children.is_empty() {
                     return alpha;
@@ -116,16 +115,12 @@ impl QueryNode {
                 children.iter().map(|c| c.eval(term_beliefs, alpha)).product()
             }
             QueryNode::Or(children) => {
-                1.0 - children
-                    .iter()
-                    .map(|c| 1.0 - c.eval(term_beliefs, alpha))
-                    .product::<f64>()
+                1.0 - children.iter().map(|c| 1.0 - c.eval(term_beliefs, alpha)).product::<f64>()
             }
             QueryNode::Not(c) => 1.0 - c.eval(term_beliefs, alpha),
-            QueryNode::Max(children) => children
-                .iter()
-                .map(|c| c.eval(term_beliefs, alpha))
-                .fold(alpha, f64::max),
+            QueryNode::Max(children) => {
+                children.iter().map(|c| c.eval(term_beliefs, alpha)).fold(alpha, f64::max)
+            }
         }
     }
 }
@@ -253,10 +248,7 @@ mod tests {
     #[test]
     fn wsum_respects_weights() {
         let beliefs: HashMap<&str, f64> = [("x", 1.0), ("y", 0.0)].into();
-        let q = QueryNode::WSum(vec![
-            QueryNode::weighted("x", 3.0),
-            QueryNode::weighted("y", 1.0),
-        ]);
+        let q = QueryNode::WSum(vec![QueryNode::weighted("x", 3.0), QueryNode::weighted("y", 1.0)]);
         assert!((q.eval(&beliefs, 0.4) - 0.75).abs() < 1e-12);
     }
 

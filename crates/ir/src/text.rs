@@ -7,16 +7,15 @@
 /// Standard English stopword list (a compact subset of the SMART list; the
 /// terms that actually occur in annotation-style text).
 const STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any",
-    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between",
-    "both", "but", "by", "can", "did", "do", "does", "doing", "down", "during", "each",
-    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
-    "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself",
-    "just", "me", "more", "most", "my", "no", "nor", "not", "now", "of", "off", "on",
-    "once", "only", "or", "other", "our", "ours", "out", "over", "own", "same", "she",
-    "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them",
-    "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
-    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while",
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "itself", "just", "me", "more", "most", "my", "no",
+    "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while",
     "who", "whom", "why", "will", "with", "you", "your", "yours",
 ];
 
@@ -45,11 +44,7 @@ pub fn tokenize(text: &str) -> Vec<String> {
 
 /// Tokenise, drop stopwords, and Porter-stem — the full indexing pipeline.
 pub fn tokenize_stemmed(text: &str) -> Vec<String> {
-    tokenize(text)
-        .into_iter()
-        .filter(|t| !is_stopword(t))
-        .map(|t| porter_stem(&t))
-        .collect()
+    tokenize(text).into_iter().filter(|t| !is_stopword(t)).map(|t| porter_stem(&t)).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -248,10 +243,7 @@ pub fn porter_stem(word: &str) -> String {
     // -ion after s/t
     if ends_with(&b, len, "ion") {
         let stem_len = len - 3;
-        if stem_len > 0
-            && matches!(b[stem_len - 1], b's' | b't')
-            && measure(&b, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(b[stem_len - 1], b's' | b't') && measure(&b, stem_len) > 1 {
             len = stem_len;
         }
     }
@@ -296,10 +288,7 @@ mod tests {
 
     #[test]
     fn tokenize_lowercases_and_splits() {
-        assert_eq!(
-            tokenize("A Sunset, over THE sea!"),
-            vec!["a", "sunset", "over", "the", "sea"]
-        );
+        assert_eq!(tokenize("A Sunset, over THE sea!"), vec!["a", "sunset", "over", "the", "sea"]);
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("x1 y2"), vec!["x1", "y2"]);
     }

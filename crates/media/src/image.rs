@@ -109,10 +109,7 @@ impl Image {
         if blob.len() != 8 + need {
             return None;
         }
-        let pixels = blob[8..]
-            .chunks_exact(3)
-            .map(|c| [c[0], c[1], c[2]])
-            .collect();
+        let pixels = blob[8..].chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
         Some(Image { width: w, height: h, pixels })
     }
 }

@@ -42,55 +42,42 @@ pub fn default_themes() -> Vec<Theme> {
             palette: [[235, 110, 40], [250, 180, 60], [120, 40, 80]],
             orientation: 0.0,
             frequency: 0.08,
-            vocab: &[
-                "sunset", "orange", "horizon", "glow", "evening", "sky", "dusk", "warm",
-            ],
+            vocab: &["sunset", "orange", "horizon", "glow", "evening", "sky", "dusk", "warm"],
         },
         Theme {
             name: "forest",
             palette: [[30, 90, 40], [60, 130, 50], [20, 50, 25]],
             orientation: 1.57,
             frequency: 0.25,
-            vocab: &[
-                "forest", "tree", "green", "leaf", "moss", "trail", "wood", "fern",
-            ],
+            vocab: &["forest", "tree", "green", "leaf", "moss", "trail", "wood", "fern"],
         },
         Theme {
             name: "ocean",
             palette: [[25, 70, 160], [60, 130, 200], [230, 240, 250]],
             orientation: 0.0,
             frequency: 0.18,
-            vocab: &[
-                "ocean", "wave", "blue", "water", "sea", "surf", "tide", "foam",
-            ],
+            vocab: &["ocean", "wave", "blue", "water", "sea", "surf", "tide", "foam"],
         },
         Theme {
             name: "desert",
             palette: [[210, 170, 110], [235, 200, 140], [180, 130, 80]],
             orientation: 0.4,
             frequency: 0.05,
-            vocab: &[
-                "desert", "sand", "dune", "arid", "camel", "dry", "heat", "oasis",
-            ],
+            vocab: &["desert", "sand", "dune", "arid", "camel", "dry", "heat", "oasis"],
         },
         Theme {
             name: "city",
             palette: [[90, 90, 100], [160, 160, 170], [40, 40, 55]],
             orientation: 1.57,
             frequency: 0.45,
-            vocab: &[
-                "city", "building", "street", "skyline", "urban", "light", "tower",
-                "night",
-            ],
+            vocab: &["city", "building", "street", "skyline", "urban", "light", "tower", "night"],
         },
         Theme {
             name: "snow",
             palette: [[235, 240, 250], [200, 215, 235], [150, 170, 200]],
             orientation: 0.8,
             frequency: 0.12,
-            vocab: &[
-                "snow", "white", "winter", "ice", "mountain", "cold", "frost", "peak",
-            ],
+            vocab: &["snow", "white", "winter", "ice", "mountain", "cold", "frost", "peak"],
         },
     ]
 }
@@ -152,11 +139,26 @@ impl WebRobot {
     }
 
     /// Run the crawl.
+    ///
+    /// Theme assignment is *stratified*: every theme appears ⌊n/t⌋ or
+    /// ⌈n/t⌉ times in a seed-determined order. Independent per-image theme
+    /// draws can starve a theme entirely on small corpora, which would
+    /// leave its vocabulary unreachable and its ground-truth relevance set
+    /// empty — stratification keeps every theme represented while the
+    /// per-image content stays random.
     pub fn crawl(&self) -> Vec<CrawledImage> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        (0..self.config.n_images)
-            .map(|i| {
-                let theme_idx = rng.gen_range(0..self.themes.len());
+        let mut schedule: Vec<usize> =
+            (0..self.config.n_images).map(|i| i % self.themes.len()).collect();
+        // Fisher–Yates shuffle, driven by the corpus seed
+        for i in (1..schedule.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            schedule.swap(i, j);
+        }
+        schedule
+            .into_iter()
+            .enumerate()
+            .map(|(i, theme_idx)| {
                 let theme = &self.themes[theme_idx];
                 let image = render_theme_image(theme, self.config.image_size, &mut rng);
                 let annotation = if rng.gen::<f64>() < self.config.unannotated_fraction {
@@ -188,8 +190,7 @@ fn render_theme_image(theme: &Theme, size: usize, rng: &mut StdRng) -> Image {
             let base = lerp_rgb(theme.palette[0], theme.palette[1], t);
             // oriented sinusoidal grating modulates brightness
             let u = x as f64 * cos_o + y as f64 * sin_o;
-            let grating =
-                (std::f64::consts::TAU * theme.frequency * u + phase).sin() * 28.0;
+            let grating = (std::f64::consts::TAU * theme.frequency * u + phase).sin() * 28.0;
             let noise = rng.gen_range(-10.0..10.0);
             let px = [
                 clamp_u8(base[0] as f64 + grating + noise),
@@ -219,9 +220,8 @@ fn render_theme_image(theme: &Theme, size: usize, rng: &mut StdRng) -> Image {
 
 /// Sample an annotation: characteristic theme words plus global noise.
 fn generate_annotation(theme: &Theme, rng: &mut StdRng) -> String {
-    const FILLER: &[&str] = &[
-        "photo", "picture", "view", "beautiful", "image", "scene", "taken", "shot",
-    ];
+    const FILLER: &[&str] =
+        &["photo", "picture", "view", "beautiful", "image", "scene", "taken", "shot"];
     let n_theme_words = rng.gen_range(3..=5);
     let n_filler = rng.gen_range(1..=3);
     let mut words = Vec::with_capacity(n_theme_words + n_filler);
@@ -275,11 +275,7 @@ mod tests {
 
     #[test]
     fn unannotated_fraction_is_respected() {
-        let cfg = RobotConfig {
-            n_images: 200,
-            unannotated_fraction: 0.3,
-            ..Default::default()
-        };
+        let cfg = RobotConfig { n_images: 200, unannotated_fraction: 0.3, ..Default::default() };
         let corpus = WebRobot::new(cfg).crawl();
         let missing = corpus.iter().filter(|c| c.annotation.is_none()).count();
         let frac = missing as f64 / 200.0;

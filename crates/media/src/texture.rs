@@ -45,8 +45,7 @@ impl GaborBank {
             for dx in -r..=r {
                 let xr = dx as f64 * cos_t + dy as f64 * sin_t;
                 let yr = -(dx as f64) * sin_t + dy as f64 * cos_t;
-                let envelope =
-                    (-(xr * xr + yr * yr) / (2.0 * self.sigma * self.sigma)).exp();
+                let envelope = (-(xr * xr + yr * yr) / (2.0 * self.sigma * self.sigma)).exp();
                 let carrier = (std::f64::consts::TAU * freq * xr).cos();
                 kernel.push(envelope * carrier);
             }
@@ -192,11 +191,7 @@ impl FeatureExtractor for Tamura {
     }
 
     fn extract(&self, image: &Image) -> FeatureVector {
-        FeatureVector::new(vec![
-            coarseness(image),
-            tamura_contrast(image),
-            directionality(image),
-        ])
+        FeatureVector::new(vec![coarseness(image), tamura_contrast(image), directionality(image)])
     }
 }
 
@@ -336,12 +331,14 @@ impl FeatureExtractor for EdgeDensity {
         let mut n = 0f64;
         for y in 1..h - 1 {
             for x in 1..w - 1 {
-                let gx = image.luma(x + 1, y - 1) + 2.0 * image.luma(x + 1, y)
+                let gx = image.luma(x + 1, y - 1)
+                    + 2.0 * image.luma(x + 1, y)
                     + image.luma(x + 1, y + 1)
                     - image.luma(x - 1, y - 1)
                     - 2.0 * image.luma(x - 1, y)
                     - image.luma(x - 1, y + 1);
-                let gy = image.luma(x - 1, y + 1) + 2.0 * image.luma(x, y + 1)
+                let gy = image.luma(x - 1, y + 1)
+                    + 2.0 * image.luma(x, y + 1)
                     + image.luma(x + 1, y + 1)
                     - image.luma(x - 1, y - 1)
                     - 2.0 * image.luma(x, y - 1)

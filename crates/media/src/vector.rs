@@ -30,12 +30,7 @@ impl FeatureVector {
     /// Euclidean distance to another vector (must have equal dims).
     pub fn distance(&self, other: &FeatureVector) -> f64 {
         debug_assert_eq!(self.dims(), other.dims());
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.values.iter().zip(&other.values).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// L1-normalise in place (histograms sum to 1; zero vectors stay zero).
@@ -67,8 +62,7 @@ impl FeatureVector {
         if body.is_empty() {
             return Some(FeatureVector::new(Vec::new()));
         }
-        let values: Option<Vec<f64>> =
-            body.split(',').map(|p| p.parse::<f64>().ok()).collect();
+        let values: Option<Vec<f64>> = body.split(',').map(|p| p.parse::<f64>().ok()).collect();
         Some(FeatureVector::new(values?))
     }
 }

@@ -15,9 +15,9 @@
 //! | extension field `c`                    | under prefix `{coll}__{c}`    |
 
 use crate::structure::StructRegistry;
-use crate::types::MoaType;
 #[cfg(test)]
 use crate::types::AtomicType;
+use crate::types::MoaType;
 use crate::value::MoaVal;
 use crate::{MoaError, Result};
 use monet::{Bat, Catalog, Column, MonetType, Oid, OpRegistry, Val};
@@ -90,9 +90,7 @@ impl Env {
                 self.declared.write().insert(name, ty);
                 Ok(())
             }
-            other => Err(MoaError::Type(format!(
-                "collections must be SET<TUPLE<…>>, got {other}"
-            ))),
+            other => Err(MoaError::Type(format!("collections must be SET<TUPLE<…>>, got {other}"))),
         }
     }
 
@@ -248,10 +246,8 @@ impl Env {
                         }
                     }
                     let child_prefix = format!("{prefix}__{fname}");
-                    self.catalog.register(
-                        format!("{child_prefix}__map"),
-                        Bat::dense(Column::Oid(parents)),
-                    );
+                    self.catalog
+                        .register(format!("{child_prefix}__map"), Bat::dense(Column::Oid(parents)));
                     if is_list {
                         self.catalog.register(
                             format!("{child_prefix}__pos"),
@@ -272,12 +268,12 @@ impl Env {
                             let vals: Result<Vec<Val>> =
                                 children.iter().map(|c| c.to_physical(inner)).collect();
                             let col = typed_column(a.physical(), vals?)?;
-                            self.catalog
-                                .register(format!("{child_prefix}__elem"), Bat::dense(col));
+                            self.catalog.register(format!("{child_prefix}__elem"), Bat::dense(col));
                         }
                         other => {
                             return Err(MoaError::Unsupported(format!(
-                                "nested structure {other} inside a set (flatten one level at a time)"
+                                "nested structure {other} inside a set \
+                                 (flatten one level at a time)"
                             )))
                         }
                     }
@@ -331,10 +327,9 @@ mod tests {
     use crate::parser::parse_define;
 
     fn simple_rows() -> (MoaType, Vec<MoaVal>) {
-        let (_, ty) = parse_define(
-            "define Lib as SET<TUPLE< Atomic<URL>: source, Atomic<int>: size >>;",
-        )
-        .unwrap();
+        let (_, ty) =
+            parse_define("define Lib as SET<TUPLE< Atomic<URL>: source, Atomic<int>: size >>;")
+                .unwrap();
         let rows = vec![
             MoaVal::Tuple(vec![MoaVal::str("u0"), MoaVal::Int(10)]),
             MoaVal::Tuple(vec![MoaVal::str("u1"), MoaVal::Int(20)]),
@@ -407,12 +402,8 @@ mod tests {
     #[test]
     fn list_field_records_positions() {
         let env = Env::new();
-        let (_, ty) =
-            parse_define("define L as SET<TUPLE< LIST<Atomic<int>>: xs >>;").unwrap();
-        let rows = vec![MoaVal::Tuple(vec![MoaVal::List(vec![
-            MoaVal::Int(7),
-            MoaVal::Int(8),
-        ])])];
+        let (_, ty) = parse_define("define L as SET<TUPLE< LIST<Atomic<int>>: xs >>;").unwrap();
+        let rows = vec![MoaVal::Tuple(vec![MoaVal::List(vec![MoaVal::Int(7), MoaVal::Int(8)])])];
         env.create_collection("L", ty, rows).unwrap();
         let pos = env.catalog().get("L__xs__pos").unwrap();
         assert_eq!(pos.tail().int_slice().unwrap(), &[0, 1]);
@@ -423,10 +414,9 @@ mod tests {
     #[test]
     fn declare_then_query_type() {
         let env = Env::new();
-        let (name, ty) = parse_define(
-            "define Lib as SET<TUPLE< Atomic<URL>: source, Atomic<int>: size >>;",
-        )
-        .unwrap();
+        let (name, ty) =
+            parse_define("define Lib as SET<TUPLE< Atomic<URL>: source, Atomic<int>: size >>;")
+                .unwrap();
         env.declare(name, ty).unwrap();
         let elem = env.elem_type("Lib").unwrap();
         assert!(elem.field("size").is_some());
@@ -436,10 +426,8 @@ mod tests {
     #[test]
     fn unknown_extension_structure_is_rejected() {
         let env = Env::new();
-        let (_, ty) = parse_define(
-            "define Lib as SET<TUPLE< CONTREP<Text>: annotation >>;",
-        )
-        .unwrap();
+        let (_, ty) =
+            parse_define("define Lib as SET<TUPLE< CONTREP<Text>: annotation >>;").unwrap();
         // CONTREP not registered in a bare Env
         assert!(matches!(env.create_collection("Lib", ty, vec![]), Err(MoaError::Unknown(_))));
     }

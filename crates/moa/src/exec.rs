@@ -99,11 +99,7 @@ impl MoaEngine {
             Rep::Rows { .. } => {
                 let mut oids = Vec::with_capacity(bat.count());
                 for i in 0..bat.count() {
-                    oids.push(
-                        bat.head()
-                            .oid_at(i)
-                            .map_err(MoaError::from)?,
-                    );
+                    oids.push(bat.head().oid_at(i).map_err(MoaError::from)?);
                 }
                 QueryOutput::Oids(oids)
             }
@@ -111,9 +107,9 @@ impl MoaEngine {
                 let mut pairs = Vec::with_capacity(bat.count());
                 for i in 0..bat.count() {
                     let (h, t) = bat.fetch(i).map_err(MoaError::from)?;
-                    let oid = h.as_oid().ok_or_else(|| {
-                        MoaError::Type("non-oid head in value result".into())
-                    })?;
+                    let oid = h
+                        .as_oid()
+                        .ok_or_else(|| MoaError::Type("non-oid head in value result".into()))?;
                     pairs.push((oid, t));
                 }
                 QueryOutput::Pairs(pairs)

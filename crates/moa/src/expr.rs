@@ -259,10 +259,7 @@ mod tests {
                 Expr::Ident("Lib".into()),
             ),
         );
-        assert_eq!(
-            q.to_string(),
-            "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))"
-        );
+        assert_eq!(q.to_string(), "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))");
     }
 
     #[test]

@@ -100,9 +100,9 @@ impl<'e> Compiler<'e> {
             Expr::Select { pred, input } => self.select(pred, input, this),
             Expr::Call { name, args } => self.call(name, args, this),
             Expr::Arith { op, left, right } => self.arith(*op, left, right, this),
-            Expr::Cmp { .. } | Expr::And(_, _) | Expr::Or(_, _) => Err(MoaError::Unsupported(
-                "comparison outside select[…] predicate".into(),
-            )),
+            Expr::Cmp { .. } | Expr::And(_, _) | Expr::Or(_, _) => {
+                Err(MoaError::Unsupported("comparison outside select[…] predicate".into()))
+            }
         }
     }
 
@@ -119,10 +119,9 @@ impl<'e> Compiler<'e> {
 
     fn this_rep(&self, this: Option<&ThisBind<'_>>) -> Result<Rep> {
         match this {
-            Some(ThisBind::Row { coll, domain }) => Ok(Rep::Rows {
-                coll: coll.to_string(),
-                domain: domain.cloned(),
-            }),
+            Some(ThisBind::Row { coll, domain }) => {
+                Ok(Rep::Rows { coll: coll.to_string(), domain: domain.cloned() })
+            }
             Some(ThisBind::SetOf { plan, ty, coll, domain, child_prefix }) => Ok(Rep::Vals {
                 plan: (*plan).clone(),
                 multi: true,
@@ -227,19 +226,11 @@ impl<'e> Compiler<'e> {
                     left: Box::new(plan),
                     right: Box::new(Plan::load(format!("{prefix}__{field}"))),
                 };
-                Ok(Rep::Vals {
-                    plan: joined,
-                    multi,
-                    ty: fty,
-                    coll,
-                    domain,
-                    child_prefix: None,
-                })
+                Ok(Rep::Vals { plan: joined, multi, ty: fty, coll, domain, child_prefix: None })
             }
-            other => Err(MoaError::Unsupported(format!(
-                "attribute access on {}",
-                rep_kind(&other)
-            ))),
+            other => {
+                Err(MoaError::Unsupported(format!("attribute access on {}", rep_kind(&other))))
+            }
         }
     }
 
@@ -285,10 +276,7 @@ impl<'e> Compiler<'e> {
                 };
                 self.comp(body, Some(&bind))
             }
-            other => Err(MoaError::Unsupported(format!(
-                "map over {}",
-                rep_kind(&other)
-            ))),
+            other => Err(MoaError::Unsupported(format!("map over {}", rep_kind(&other)))),
         }
     }
 
@@ -298,9 +286,7 @@ impl<'e> Compiler<'e> {
             Rep::Rows { coll, domain } => {
                 let new_domain = self.compile_pred(pred, &coll, &domain)?;
                 let combined = match domain {
-                    Some(d) => {
-                        Plan::Semijoin { left: Box::new(new_domain), right: Box::new(d) }
-                    }
+                    Some(d) => Plan::Semijoin { left: Box::new(new_domain), right: Box::new(d) },
                     None => new_domain,
                 };
                 Ok(Rep::Rows { coll, domain: Some(combined) })
@@ -321,10 +307,7 @@ impl<'e> Compiler<'e> {
                 } else {
                     let survivors = self.compile_pred(pred, &coll, &None)?;
                     Ok(Rep::Vals {
-                        plan: Plan::Semijoin {
-                            left: Box::new(plan),
-                            right: Box::new(survivors),
-                        },
+                        plan: Plan::Semijoin { left: Box::new(plan), right: Box::new(survivors) },
                         multi,
                         ty,
                         coll,
@@ -333,10 +316,7 @@ impl<'e> Compiler<'e> {
                     })
                 }
             }
-            other => Err(MoaError::Unsupported(format!(
-                "select over {}",
-                rep_kind(&other)
-            ))),
+            other => Err(MoaError::Unsupported(format!("select over {}", rep_kind(&other)))),
         }
     }
 
@@ -364,9 +344,7 @@ impl<'e> Compiler<'e> {
         };
         let p = match op {
             CmpOp::Eq => Pred::Eq(lit),
-            CmpOp::Ne => {
-                return Err(MoaError::Unsupported("THIS != literal on values".into()))
-            }
+            CmpOp::Ne => return Err(MoaError::Unsupported("THIS != literal on values".into())),
             CmpOp::Lt => Pred::Range { lo: None, lo_incl: true, hi: Some(lit), hi_incl: false },
             CmpOp::Le => Pred::Range { lo: None, lo_incl: true, hi: Some(lit), hi_incl: true },
             CmpOp::Gt => Pred::Range { lo: Some(lit), lo_incl: false, hi: None, hi_incl: true },
@@ -425,9 +403,7 @@ impl<'e> Compiler<'e> {
                     pred: Pred::StrContains(p),
                 })))
             }
-            other => Err(MoaError::Unsupported(format!(
-                "predicate expression {other}"
-            ))),
+            other => Err(MoaError::Unsupported(format!("predicate expression {other}"))),
         }
     }
 
@@ -496,11 +472,8 @@ impl<'e> Compiler<'e> {
             // aggregate of a nested set, per parent object
             Rep::Vals { plan, multi: true, coll, domain, .. } => {
                 let groups = identity_plan(&coll, &domain);
-                let mut out = Plan::GroupedAggr {
-                    values: Box::new(plan),
-                    groups: Box::new(groups),
-                    agg,
-                };
+                let mut out =
+                    Plan::GroupedAggr { values: Box::new(plan), groups: Box::new(groups), agg };
                 if let Some(d) = &domain {
                     out = Plan::Semijoin { left: Box::new(out), right: Box::new(d.clone()) };
                 }
@@ -533,18 +506,13 @@ impl<'e> Compiler<'e> {
                     ty: MoaType::Atomic(AtomicType::Int),
                 })
             }
-            other => Err(MoaError::Unsupported(format!(
-                "{name}() over {}",
-                rep_kind(&other)
-            ))),
+            other => Err(MoaError::Unsupported(format!("{name}() over {}", rep_kind(&other)))),
         }
     }
 
     fn get_bl(&self, args: &[Expr], this: Option<&ThisBind<'_>>) -> Result<Rep> {
         if args.is_empty() {
-            return Err(MoaError::Type(
-                "getBL(THIS.field, query, stats) needs arguments".into(),
-            ));
+            return Err(MoaError::Type("getBL(THIS.field, query, stats) needs arguments".into()));
         }
         let Expr::Attr(base, field) = &args[0] else {
             return Err(MoaError::Type("getBL's first argument must be THIS.field".into()));
@@ -631,10 +599,7 @@ impl<'e> Compiler<'e> {
                 domain,
                 child_prefix: None,
             }),
-            other => Err(MoaError::Unsupported(format!(
-                "topk over {}",
-                rep_kind(&other)
-            ))),
+            other => Err(MoaError::Unsupported(format!("topk over {}", rep_kind(&other)))),
         }
     }
 
@@ -777,10 +742,7 @@ mod tests {
                 MoaVal::str("u1"),
                 MoaVal::Int(200),
                 MoaVal::Float(0.2),
-                MoaVal::Set(vec![MoaVal::Tuple(vec![
-                    MoaVal::str("sea"),
-                    MoaVal::Float(1.0),
-                ])]),
+                MoaVal::Set(vec![MoaVal::Tuple(vec![MoaVal::str("sea"), MoaVal::Float(1.0)])]),
             ]),
             MoaVal::Tuple(vec![
                 MoaVal::str("u2"),
@@ -799,20 +761,14 @@ mod tests {
         let Rep::Vals { plan, .. } = rep else { panic!("expected Vals") };
         let exec = Executor::new(env.catalog(), env.ops());
         let bat = exec.run_bat(&plan).unwrap();
-        bat.to_pairs()
-            .into_iter()
-            .map(|(h, t)| (h.as_oid().unwrap(), t))
-            .collect()
+        bat.to_pairs().into_iter().map(|(h, t)| (h.as_oid().unwrap(), t)).collect()
     }
 
     #[test]
     fn attribute_projection() {
         let env = env_with_data();
         let out = run_vals(&env, "map[THIS.size](Lib)");
-        assert_eq!(
-            out,
-            vec![(0, Val::Int(100)), (1, Val::Int(200)), (2, Val::Int(300))]
-        );
+        assert_eq!(out, vec![(0, Val::Int(100)), (1, Val::Int(200)), (2, Val::Int(300))]);
     }
 
     #[test]
@@ -839,10 +795,7 @@ mod tests {
     fn nested_count_per_object() {
         let env = env_with_data();
         let out = run_vals(&env, "map[count(THIS.tags)](Lib)");
-        assert_eq!(
-            out,
-            vec![(0, Val::Int(2)), (1, Val::Int(1)), (2, Val::Int(0))]
-        );
+        assert_eq!(out, vec![(0, Val::Int(2)), (1, Val::Int(1)), (2, Val::Int(0))]);
     }
 
     #[test]

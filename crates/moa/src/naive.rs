@@ -78,9 +78,7 @@ impl<'e> NaiveEngine<'e> {
                 let (_, oids) = self.eval_input(&args[0])?;
                 Ok(QueryOutput::Scalar(Val::Int(oids.len() as i64)))
             }
-            other => Err(MoaError::Unsupported(format!(
-                "naive evaluation of top-level {other}"
-            ))),
+            other => Err(MoaError::Unsupported(format!("naive evaluation of top-level {other}"))),
         }
     }
 
@@ -206,9 +204,7 @@ impl<'e> NaiveEngine<'e> {
                         "sum" => NVal::Num(nums.iter().sum()),
                         "count" => NVal::Int(nums.len() as i64),
                         "min" => NVal::Num(nums.iter().copied().fold(f64::INFINITY, f64::min)),
-                        "max" => {
-                            NVal::Num(nums.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-                        }
+                        "max" => NVal::Num(nums.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
                         "avg" => NVal::Num(if nums.is_empty() {
                             0.0
                         } else {
@@ -254,9 +250,9 @@ impl<'e> NaiveEngine<'e> {
                 let r = self.eval_body_with(right, coll, oid, row, this_val)?;
                 arith(&l, &r, *op)
             }
-            Expr::Ident(_) | Expr::Select { .. } => Err(MoaError::Unsupported(format!(
-                "naive body expression {expr}"
-            ))),
+            Expr::Ident(_) | Expr::Select { .. } => {
+                Err(MoaError::Unsupported(format!("naive body expression {expr}")))
+            }
         }
     }
 
@@ -274,13 +270,11 @@ impl<'e> NaiveEngine<'e> {
                 let idx = field_index(&elem, field)?;
                 match row {
                     MoaVal::Tuple(vs) => match vs.get(idx) {
-                        Some(MoaVal::Set(items)) | Some(MoaVal::List(items)) => {
-                            Ok(items.clone())
-                        }
+                        Some(MoaVal::Set(items)) | Some(MoaVal::List(items)) => Ok(items.clone()),
                         Some(MoaVal::Null) | None => Ok(Vec::new()),
-                        Some(other) => Err(MoaError::Type(format!(
-                            "field '{field}' is not a set: {other:?}"
-                        ))),
+                        Some(other) => {
+                            Err(MoaError::Type(format!("field '{field}' is not a set: {other:?}")))
+                        }
                     },
                     _ => Err(MoaError::Type("row is not a tuple".into())),
                 }
@@ -331,9 +325,7 @@ impl<'e> NaiveEngine<'e> {
         let elem = self.env.elem_type(coll)?;
         let idx = field_index(&elem, field)?;
         match row {
-            MoaVal::Tuple(vs) => {
-                moaval_to_nval(vs.get(idx).unwrap_or(&MoaVal::Null))
-            }
+            MoaVal::Tuple(vs) => moaval_to_nval(vs.get(idx).unwrap_or(&MoaVal::Null)),
             _ => Err(MoaError::Type("row is not a tuple".into())),
         }
     }
@@ -341,13 +333,7 @@ impl<'e> NaiveEngine<'e> {
     /// Dispatch an extension-structure method for one object — e.g.
     /// `getBL(THIS.annotation, query, stats)` evaluated document by
     /// document.
-    fn eval_ext_method(
-        &self,
-        method: &str,
-        args: &[Expr],
-        coll: &str,
-        oid: Oid,
-    ) -> Result<NVal> {
+    fn eval_ext_method(&self, method: &str, args: &[Expr], coll: &str, oid: Oid) -> Result<NVal> {
         let Some(Expr::Attr(base, field)) = args.first() else {
             return Err(MoaError::Unknown(format!("function '{method}'")));
         };
@@ -355,9 +341,7 @@ impl<'e> NaiveEngine<'e> {
             return Err(MoaError::Unknown(format!("function '{method}'")));
         }
         let elem = self.env.elem_type(coll)?;
-        let fty = elem
-            .field(field)
-            .ok_or_else(|| MoaError::Unknown(format!("field '{field}'")))?;
+        let fty = elem.field(field).ok_or_else(|| MoaError::Unknown(format!("field '{field}'")))?;
         let MoaType::Ext { name: sname, .. } = fty else {
             return Err(MoaError::Type(format!("'{field}' is not extension-typed")));
         };
@@ -380,8 +364,7 @@ impl<'e> NaiveEngine<'e> {
             domain: None,
             extra: Vec::new(),
         };
-        let beliefs =
-            s.eval_object(&format!("{coll}__{field}"), oid, method, &call)?;
+        let beliefs = s.eval_object(&format!("{coll}__{field}"), oid, method, &call)?;
         Ok(NVal::Set(beliefs.into_iter().map(NVal::Num).collect()))
     }
 }
@@ -398,12 +381,10 @@ fn moaval_to_nval(v: &MoaVal) -> Result<NVal> {
         MoaVal::Float(x) => NVal::Num(*x),
         MoaVal::Str(s) => NVal::Str(s.clone()),
         MoaVal::Null => NVal::Str(String::new()),
-        MoaVal::Set(items) | MoaVal::List(items) => NVal::Set(
-            items.iter().map(moaval_to_nval).collect::<Result<Vec<_>>>()?,
-        ),
-        MoaVal::Tuple(_) => {
-            return Err(MoaError::Unsupported("tuple as naive value".into()))
+        MoaVal::Set(items) | MoaVal::List(items) => {
+            NVal::Set(items.iter().map(moaval_to_nval).collect::<Result<Vec<_>>>()?)
         }
+        MoaVal::Tuple(_) => return Err(MoaError::Unsupported("tuple as naive value".into())),
     })
 }
 
@@ -501,10 +482,7 @@ mod tests {
                     MoaVal::Str(format!("u{i}")),
                     MoaVal::Int(10 * (i + 1)),
                     MoaVal::Float(0.1 * i as f64),
-                    MoaVal::Set(vec![
-                        MoaVal::Float(0.5),
-                        MoaVal::Float(0.1 * i as f64),
-                    ]),
+                    MoaVal::Set(vec![MoaVal::Float(0.5), MoaVal::Float(0.1 * i as f64)]),
                 ])
             })
             .collect();
@@ -549,10 +527,8 @@ mod tests {
     #[test]
     fn naive_needs_raw_rows() {
         let env = Env::new(); // keep_raw = false
-        let (n, ty) =
-            parse_define("define L as SET<TUPLE<Atomic<int>: x>>;").unwrap();
-        env.create_collection(n, ty, vec![MoaVal::Tuple(vec![MoaVal::Int(1)])])
-            .unwrap();
+        let (n, ty) = parse_define("define L as SET<TUPLE<Atomic<int>: x>>;").unwrap();
+        env.create_collection(n, ty, vec![MoaVal::Tuple(vec![MoaVal::Int(1)])]).unwrap();
         let naive = NaiveEngine::new(&env);
         assert!(naive.query("map[THIS.x](L)").is_err());
     }

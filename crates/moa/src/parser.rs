@@ -465,10 +465,7 @@ pub fn parse_expr(src: &str) -> Result<Expr> {
     let e = p.expr()?;
     p.eat(&Tok::Semi);
     if p.pos != p.toks.len() {
-        return Err(MoaError::Parse(format!(
-            "trailing input after expression at token {}",
-            p.pos
-        )));
+        return Err(MoaError::Parse(format!("trailing input after expression at token {}", p.pos)));
     }
     Ok(e)
 }
@@ -545,10 +542,7 @@ mod tests {
 
     #[test]
     fn parse_select_with_predicate() {
-        let q = parse_expr(
-            "select[THIS.score >= 0.5 and THIS.source != \"x\"](Lib)",
-        )
-        .unwrap();
+        let q = parse_expr("select[THIS.score >= 0.5 and THIS.source != \"x\"](Lib)").unwrap();
         match &q {
             Expr::Select { pred, .. } => assert!(matches!(**pred, Expr::And(_, _))),
             other => panic!("expected select, got {other}"),

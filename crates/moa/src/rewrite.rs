@@ -138,9 +138,7 @@ fn peephole(plan: &Plan) -> Plan {
         },
         // topn(sort(x)) = topn(x) with matching direction
         Plan::TopN { input, k, desc } => match *input {
-            Plan::SortTail { input: x, desc: d2 } if d2 == desc => {
-                Plan::TopN { input: x, k, desc }
-            }
+            Plan::SortTail { input: x, desc: d2 } if d2 == desc => Plan::TopN { input: x, k, desc },
             other => Plan::TopN { input: Box::new(other), k, desc },
         },
         // fold (x ∘ c1) ∘ c2 for matching associative ops
@@ -180,21 +178,15 @@ fn map_children(plan: &Plan, f: &dyn Fn(&Plan) -> Plan) -> Plan {
         Const(b) => Const(b.clone()),
         Select { input, pred } => Select { input: Box::new(f(input)), pred: pred.clone() },
         Join { left, right } => Join { left: Box::new(f(left)), right: Box::new(f(right)) },
-        Semijoin { left, right } => {
-            Semijoin { left: Box::new(f(left)), right: Box::new(f(right)) }
-        }
+        Semijoin { left, right } => Semijoin { left: Box::new(f(left)), right: Box::new(f(right)) },
         Reverse(p) => Reverse(Box::new(f(p))),
         Mirror(p) => Mirror(Box::new(f(p))),
         Mark { input, base } => Mark { input: Box::new(f(input)), base: *base },
-        ProjectConst { input, val } => {
-            ProjectConst { input: Box::new(f(input)), val: val.clone() }
-        }
+        ProjectConst { input, val } => ProjectConst { input: Box::new(f(input)), val: val.clone() },
         Aggr { input, agg } => Aggr { input: Box::new(f(input)), agg: *agg },
-        GroupedAggr { values, groups, agg } => GroupedAggr {
-            values: Box::new(f(values)),
-            groups: Box::new(f(groups)),
-            agg: *agg,
-        },
+        GroupedAggr { values, groups, agg } => {
+            GroupedAggr { values: Box::new(f(values)), groups: Box::new(f(groups)), agg: *agg }
+        }
         SortTail { input, desc } => SortTail { input: Box::new(f(input)), desc: *desc },
         TopN { input, k, desc } => TopN { input: Box::new(f(input)), k: *k, desc: *desc },
         Slice { input, lo, hi } => Slice { input: Box::new(f(input)), lo: *lo, hi: *hi },
@@ -224,16 +216,11 @@ mod tests {
 
     fn env() -> Env {
         let e = Env::new();
-        let (n, ty) = parse_define(
-            "define Lib as SET<TUPLE<Atomic<int>: size, Atomic<float>: score>>;",
-        )
-        .unwrap();
-        e.create_collection(
-            n,
-            ty,
-            vec![MoaVal::Tuple(vec![MoaVal::Int(1), MoaVal::Float(0.5)])],
-        )
-        .unwrap();
+        let (n, ty) =
+            parse_define("define Lib as SET<TUPLE<Atomic<int>: size, Atomic<float>: score>>;")
+                .unwrap();
+        e.create_collection(n, ty, vec![MoaVal::Tuple(vec![MoaVal::Int(1), MoaVal::Float(0.5)])])
+            .unwrap();
         e
     }
 
@@ -269,15 +256,9 @@ mod tests {
     #[test]
     fn pushdown_through_nested_maps() {
         let env = env();
-        let q = parse_expr(
-            "select[THIS.size = 1](map[sum(THIS)](map[THIS.score](Lib)))",
-        )
-        .unwrap();
+        let q = parse_expr("select[THIS.size = 1](map[sum(THIS)](map[THIS.score](Lib)))").unwrap();
         let r = rewrite_logical(&q, &env, OptConfig::default());
-        assert_eq!(
-            r.to_string(),
-            "map[sum(THIS)](map[THIS.score](select[THIS.size = 1](Lib)))"
-        );
+        assert_eq!(r.to_string(), "map[sum(THIS)](map[THIS.score](select[THIS.size = 1](Lib)))");
     }
 
     #[test]

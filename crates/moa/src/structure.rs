@@ -157,8 +157,10 @@ pub(crate) mod test_support {
             _ops: &OpRegistry,
             prefix: &str,
         ) -> Result<()> {
-            let lens: Vec<i64> =
-                values.iter().map(|v| v.as_deref().map_or(0, |s| s.chars().count() as i64)).collect();
+            let lens: Vec<i64> = values
+                .iter()
+                .map(|v| v.as_deref().map_or(0, |s| s.chars().count() as i64))
+                .collect();
             catalog.register(format!("{prefix}__len"), Bat::dense(Column::Int(lens)));
             Ok(())
         }
@@ -209,9 +211,7 @@ mod tests {
         assert_eq!(reg.names(), vec!["LENREP".to_string()]);
         let s = reg.get("LENREP").unwrap();
         assert!(s.check_param(&MoaType::Atomic(AtomicType::Text)).is_ok());
-        assert!(s
-            .check_param(&MoaType::Set(Box::new(MoaType::Atomic(AtomicType::Int))))
-            .is_err());
+        assert!(s.check_param(&MoaType::Set(Box::new(MoaType::Atomic(AtomicType::Int)))).is_err());
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl MoaVal {
             (MoaVal::Null, _) => true,
             (MoaVal::Int(_), MoaType::Atomic(AtomicType::Int)) => true,
             (MoaVal::Float(_), MoaType::Atomic(AtomicType::Float)) => true,
-            (MoaVal::Str(_), MoaType::Atomic(a)) => !matches!(a, AtomicType::Int | AtomicType::Float),
+            (MoaVal::Str(_), MoaType::Atomic(a)) => {
+                !matches!(a, AtomicType::Int | AtomicType::Float)
+            }
             (MoaVal::Str(_), MoaType::Ext { .. }) => true,
             (MoaVal::Tuple(vs), MoaType::Tuple(fs)) => {
                 vs.len() == fs.len() && vs.iter().zip(fs).all(|(v, (_, t))| v.conforms(t))
@@ -64,9 +66,7 @@ impl MoaVal {
             (MoaVal::Null, MoaType::Atomic(AtomicType::Int)) => Ok(Val::Int(0)),
             (MoaVal::Null, MoaType::Atomic(AtomicType::Float)) => Ok(Val::Float(0.0)),
             (MoaVal::Null, _) => Ok(Val::Str(String::new())),
-            (other, ty) => Err(MoaError::Type(format!(
-                "cannot store {other:?} as atomic {ty}"
-            ))),
+            (other, ty) => Err(MoaError::Type(format!("cannot store {other:?} as atomic {ty}"))),
         }
     }
 

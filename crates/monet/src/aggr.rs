@@ -98,41 +98,38 @@ impl Bat {
         }
         let n_groups = match groups.tail().min_max() {
             Some((_, mx)) => {
-                mx.as_oid().ok_or_else(|| {
-                    MonetError::BadValue("group ids must be oids".into())
-                })? as usize
+                mx.as_oid().ok_or_else(|| MonetError::BadValue("group ids must be oids".into()))?
+                    as usize
                     + 1
             }
             None => 0,
         };
         // Resolve, per row of self, its group id.
-        let gid_of_row: Vec<Option<Oid>> = if let (Some(s1), Some(s2)) = (
-            self.head().void_start(),
-            groups.head().void_start(),
-        ) {
-            // positional alignment of two dense heads
-            let g = groups.tail();
-            (0..self.count())
-                .map(|i| {
-                    let oid = s1 + i as Oid;
-                    let j = oid.checked_sub(s2).map(|d| d as usize);
-                    match j {
-                        Some(j) if j < g.len() => g.oid_at(j).ok(),
-                        _ => None,
-                    }
-                })
-                .collect()
-        } else {
-            // hash the group mapping: key -> gid
-            let mut table: FxHashMap<_, Oid> = FxHashMap::default();
-            let gh = groups.head();
-            let gt = groups.tail();
-            for j in 0..groups.count() {
-                table.insert(key_at(gh, j), gt.oid_at(j)?);
-            }
-            let sh = self.head();
-            (0..self.count()).map(|i| table.get(&key_at(sh, i)).copied()).collect()
-        };
+        let gid_of_row: Vec<Option<Oid>> =
+            if let (Some(s1), Some(s2)) = (self.head().void_start(), groups.head().void_start()) {
+                // positional alignment of two dense heads
+                let g = groups.tail();
+                (0..self.count())
+                    .map(|i| {
+                        let oid = s1 + i as Oid;
+                        let j = oid.checked_sub(s2).map(|d| d as usize);
+                        match j {
+                            Some(j) if j < g.len() => g.oid_at(j).ok(),
+                            _ => None,
+                        }
+                    })
+                    .collect()
+            } else {
+                // hash the group mapping: key -> gid
+                let mut table: FxHashMap<_, Oid> = FxHashMap::default();
+                let gh = groups.head();
+                let gt = groups.tail();
+                for j in 0..groups.count() {
+                    table.insert(key_at(gh, j), gt.oid_at(j)?);
+                }
+                let sh = self.head();
+                (0..self.count()).map(|i| table.get(&key_at(sh, i)).copied()).collect()
+            };
 
         let mut sums = vec![0.0f64; n_groups];
         let mut counts = vec![0u64; n_groups];
@@ -180,12 +177,12 @@ impl Bat {
                     .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
                     .collect(),
             ),
-            Agg::Min => Column::Float(
-                mins.iter().map(|&m| if m.is_finite() { m } else { 0.0 }).collect(),
-            ),
-            Agg::Max => Column::Float(
-                maxs.iter().map(|&m| if m.is_finite() { m } else { 0.0 }).collect(),
-            ),
+            Agg::Min => {
+                Column::Float(mins.iter().map(|&m| if m.is_finite() { m } else { 0.0 }).collect())
+            }
+            Agg::Max => {
+                Column::Float(maxs.iter().map(|&m| if m.is_finite() { m } else { 0.0 }).collect())
+            }
         };
         Ok(Bat::dense(out))
     }

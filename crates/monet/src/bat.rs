@@ -340,12 +340,7 @@ mod tests {
 
     #[test]
     fn analyze_sets_exact_props() {
-        let b = Bat::new(
-            Column::Oid(vec![3, 1, 2]),
-            Column::Int(vec![1, 1, 2]),
-        )
-        .unwrap()
-        .analyze();
+        let b = Bat::new(Column::Oid(vec![3, 1, 2]), Column::Int(vec![1, 1, 2])).unwrap().analyze();
         assert!(!b.props().head_sorted);
         assert!(b.props().head_key);
         assert!(b.props().tail_sorted);

@@ -37,11 +37,7 @@ impl Catalog {
 
     /// Look up a BAT by name.
     pub fn get(&self, name: &str) -> Result<Arc<Bat>> {
-        self.bats
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| MonetError::UnknownBat(name.to_string()))
+        self.bats.read().get(name).cloned().ok_or_else(|| MonetError::UnknownBat(name.to_string()))
     }
 
     /// True if `name` is registered.
@@ -81,8 +77,7 @@ impl Catalog {
     /// were dropped. Used when re-ingesting a collection.
     pub fn drop_prefix(&self, prefix: &str) -> usize {
         let mut map = self.bats.write();
-        let doomed: Vec<String> =
-            map.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        let doomed: Vec<String> = map.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
         for k in &doomed {
             map.remove(k);
         }

@@ -199,10 +199,9 @@ impl Column {
                     Err(MonetError::OutOfBounds { index: i, len: *len })
                 }
             }
-            Column::Oid(v) => v
-                .get(i)
-                .copied()
-                .ok_or(MonetError::OutOfBounds { index: i, len: v.len() }),
+            Column::Oid(v) => {
+                v.get(i).copied().ok_or(MonetError::OutOfBounds { index: i, len: v.len() })
+            }
             other => Err(MonetError::TypeMismatch {
                 op: "oid_at",
                 expected: "oid",
@@ -236,10 +235,9 @@ impl Column {
             Column::Oid(v) => Column::Oid(v[lo..hi].to_vec()),
             Column::Int(v) => Column::Int(v[lo..hi].to_vec()),
             Column::Float(v) => Column::Float(v[lo..hi].to_vec()),
-            Column::Str(s) => Column::Str(StrCol {
-                codes: s.codes[lo..hi].to_vec(),
-                dict: Arc::clone(&s.dict),
-            }),
+            Column::Str(s) => {
+                Column::Str(StrCol { codes: s.codes[lo..hi].to_vec(), dict: Arc::clone(&s.dict) })
+            }
         }
     }
 
@@ -293,27 +291,33 @@ impl Column {
             MonetType::Oid => {
                 let mut v = Vec::with_capacity(vals.len());
                 for x in vals {
-                    v.push(x.as_oid().ok_or_else(|| {
-                        MonetError::BadValue(format!("expected oid, got {x}"))
-                    })?);
+                    v.push(
+                        x.as_oid().ok_or_else(|| {
+                            MonetError::BadValue(format!("expected oid, got {x}"))
+                        })?,
+                    );
                 }
                 Ok(Column::Oid(v))
             }
             MonetType::Int => {
                 let mut v = Vec::with_capacity(vals.len());
                 for x in vals {
-                    v.push(x.as_int().ok_or_else(|| {
-                        MonetError::BadValue(format!("expected int, got {x}"))
-                    })?);
+                    v.push(
+                        x.as_int().ok_or_else(|| {
+                            MonetError::BadValue(format!("expected int, got {x}"))
+                        })?,
+                    );
                 }
                 Ok(Column::Int(v))
             }
             MonetType::Float => {
                 let mut v = Vec::with_capacity(vals.len());
                 for x in vals {
-                    v.push(x.as_float().ok_or_else(|| {
-                        MonetError::BadValue(format!("expected float, got {x}"))
-                    })?);
+                    v.push(
+                        x.as_float().ok_or_else(|| {
+                            MonetError::BadValue(format!("expected float, got {x}"))
+                        })?,
+                    );
                 }
                 Ok(Column::Float(v))
             }
@@ -321,9 +325,9 @@ impl Column {
                 let mut b = StrDictBuilder::new();
                 let mut codes = Vec::with_capacity(vals.len());
                 for x in vals {
-                    let s = x.as_str().ok_or_else(|| {
-                        MonetError::BadValue(format!("expected str, got {x}"))
-                    })?;
+                    let s = x
+                        .as_str()
+                        .ok_or_else(|| MonetError::BadValue(format!("expected str, got {x}")))?;
                     codes.push(b.intern(s));
                 }
                 Ok(Column::Str(StrCol { codes, dict: b.freeze() }))
@@ -338,10 +342,9 @@ impl Column {
             Column::Oid(v) => v.windows(2).all(|w| w[0] <= w[1]),
             Column::Int(v) => v.windows(2).all(|w| w[0] <= w[1]),
             Column::Float(v) => v.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
-            Column::Str(s) => s
-                .codes
-                .windows(2)
-                .all(|w| s.dict.resolve(w[0]) <= s.dict.resolve(w[1])),
+            Column::Str(s) => {
+                s.codes.windows(2).all(|w| s.dict.resolve(w[0]) <= s.dict.resolve(w[1]))
+            }
         }
     }
 

@@ -23,8 +23,7 @@ pub struct OpCtx<'a> {
 
 /// Signature of a custom physical operator: BAT inputs (already evaluated)
 /// plus scalar parameters, producing one BAT.
-pub type CustomOp =
-    dyn Fn(&OpCtx<'_>, &[Arc<Bat>], &[Val]) -> Result<Bat> + Send + Sync + 'static;
+pub type CustomOp = dyn Fn(&OpCtx<'_>, &[Arc<Bat>], &[Val]) -> Result<Bat> + Send + Sync + 'static;
 
 /// A thread-safe registry of custom physical operators.
 #[derive(Default)]
@@ -49,11 +48,7 @@ impl OpRegistry {
 
     /// Look up an operator.
     pub fn get(&self, name: &str) -> Result<Arc<CustomOp>> {
-        self.ops
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| MonetError::UnknownOp(name.to_string()))
+        self.ops.read().get(name).cloned().ok_or_else(|| MonetError::UnknownOp(name.to_string()))
     }
 
     /// True if `name` is registered.
@@ -104,12 +99,7 @@ mod tests {
         });
         assert!(reg.contains("double"));
         let out = reg
-            .invoke(
-                "double",
-                &OpCtx { catalog: &cat },
-                &[Arc::new(bat_of_ints(vec![1, 2]))],
-                &[],
-            )
+            .invoke("double", &OpCtx { catalog: &cat }, &[Arc::new(bat_of_ints(vec![1, 2]))], &[])
             .unwrap();
         assert_eq!(out.tail().int_slice().unwrap(), &[2, 4]);
     }
@@ -141,14 +131,13 @@ mod tests {
         let reg = OpRegistry::new();
         let cat = Catalog::new();
         reg.register("fill", |_ctx, _inputs, params| {
-            let n = params[0].as_int().ok_or_else(|| {
-                MonetError::BadOpInvocation { op: "fill".into(), msg: "need int".into() }
+            let n = params[0].as_int().ok_or_else(|| MonetError::BadOpInvocation {
+                op: "fill".into(),
+                msg: "need int".into(),
             })?;
             Ok(bat_of_ints(vec![7; n as usize]))
         });
-        let out = reg
-            .invoke("fill", &OpCtx { catalog: &cat }, &[], &[Val::Int(3)])
-            .unwrap();
+        let out = reg.invoke("fill", &OpCtx { catalog: &cat }, &[], &[Val::Int(3)]).unwrap();
         assert_eq!(out.count(), 3);
     }
 }

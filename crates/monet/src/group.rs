@@ -75,10 +75,7 @@ mod tests {
         let b = bat_of_strs(["x", "y", "x", "z", "y"]);
         let (map, groups) = b.group().unwrap();
         let gids: Vec<_> = map.to_pairs().into_iter().map(|(_, g)| g).collect();
-        assert_eq!(
-            gids,
-            vec![Val::Oid(0), Val::Oid(1), Val::Oid(0), Val::Oid(2), Val::Oid(1)]
-        );
+        assert_eq!(gids, vec![Val::Oid(0), Val::Oid(1), Val::Oid(0), Val::Oid(2), Val::Oid(1)]);
         assert_eq!(groups.count(), 3);
         assert_eq!(groups.fetch(0).unwrap().1, Val::from("x"));
         assert_eq!(groups.fetch(2).unwrap().1, Val::from("z"));

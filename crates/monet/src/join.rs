@@ -250,9 +250,7 @@ mod tests {
 
     #[test]
     fn merge_join_on_sorted_oids() {
-        let l = Bat::new(Column::void(0, 4), Column::Oid(vec![1, 2, 2, 5]))
-            .unwrap()
-            .analyze();
+        let l = Bat::new(Column::void(0, 4), Column::Oid(vec![1, 2, 2, 5])).unwrap().analyze();
         let r = Bat::new(Column::Oid(vec![2, 2, 5, 6]), Column::Int(vec![20, 21, 50, 60]))
             .unwrap()
             .analyze();
@@ -267,16 +265,11 @@ mod tests {
 
     #[test]
     fn string_join_across_dictionaries() {
-        let l = Bat::new(
-            Column::void(0, 3),
-            ["red", "blue", "red"].into_iter().collect::<Column>(),
-        )
-        .unwrap();
-        let r = Bat::new(
-            ["blue", "red"].into_iter().collect::<Column>(),
-            Column::Int(vec![1, 2]),
-        )
-        .unwrap();
+        let l =
+            Bat::new(Column::void(0, 3), ["red", "blue", "red"].into_iter().collect::<Column>())
+                .unwrap();
+        let r = Bat::new(["blue", "red"].into_iter().collect::<Column>(), Column::Int(vec![1, 2]))
+            .unwrap();
         let j = l.join(&r).unwrap();
         assert_eq!(j.count(), 3);
         assert_eq!(j.fetch(0).unwrap(), (Val::Oid(0), Val::Int(2)));
@@ -292,8 +285,7 @@ mod tests {
 
     #[test]
     fn semijoin_restricts_by_head() {
-        let l = Bat::new(Column::Oid(vec![0, 1, 2, 3]), Column::Int(vec![10, 11, 12, 13]))
-            .unwrap();
+        let l = Bat::new(Column::Oid(vec![0, 1, 2, 3]), Column::Int(vec![10, 11, 12, 13])).unwrap();
         let r = Bat::new(Column::Oid(vec![1, 3]), Column::Int(vec![0, 0])).unwrap();
         let s = l.semijoin(&r).unwrap();
         let tails: Vec<_> = s.to_pairs().into_iter().map(|(_, t)| t).collect();

@@ -215,18 +215,9 @@ mod tests {
 
         let restored = Catalog::new();
         assert_eq!(restored.load_dir(&dir).unwrap(), 4);
-        assert_eq!(
-            restored.get("ints").unwrap().to_pairs(),
-            cat.get("ints").unwrap().to_pairs()
-        );
-        assert_eq!(
-            restored.get("strs").unwrap().fetch(2).unwrap().1,
-            Val::from("alpha")
-        );
-        assert_eq!(
-            restored.get("oids").unwrap().fetch(1).unwrap(),
-            (Val::Oid(3), Val::Oid(11))
-        );
+        assert_eq!(restored.get("ints").unwrap().to_pairs(), cat.get("ints").unwrap().to_pairs());
+        assert_eq!(restored.get("strs").unwrap().fetch(2).unwrap().1, Val::from("alpha"));
+        assert_eq!(restored.get("oids").unwrap().fetch(1).unwrap(), (Val::Oid(3), Val::Oid(11)));
         // dictionaries deduplicate after reload
         let s = restored.get("strs").unwrap();
         let col = s.tail().str_col().unwrap();

@@ -520,9 +520,7 @@ impl<'a> Executor<'a> {
             }
             Plan::Reverse(p) => Arc::new(self.eval(p, stats, memo)?.reverse()),
             Plan::Mirror(p) => Arc::new(self.eval(p, stats, memo)?.mirror()),
-            Plan::Mark { input, base } => {
-                Arc::new(self.eval(input, stats, memo)?.mark(*base))
-            }
+            Plan::Mark { input, base } => Arc::new(self.eval(input, stats, memo)?.mark(*base)),
             Plan::ProjectConst { input, val } => {
                 Arc::new(self.eval(input, stats, memo)?.project(val)?)
             }
@@ -612,11 +610,9 @@ fn num_at(c: &Column, i: usize) -> Result<f64> {
         Column::Float(v) => Ok(v[i]),
         Column::Oid(v) => Ok(v[i] as f64),
         Column::Void { start, .. } => Ok((*start + i as Oid) as f64),
-        Column::Str(_) => Err(MonetError::TypeMismatch {
-            op: "arith",
-            expected: "numeric",
-            found: "str",
-        }),
+        Column::Str(_) => {
+            Err(MonetError::TypeMismatch { op: "arith", expected: "numeric", found: "str" })
+        }
     }
 }
 
@@ -707,12 +703,7 @@ mod tests {
         let plan = Plan::TopN {
             input: Box::new(Plan::Select {
                 input: Box::new(Plan::load("nums")),
-                pred: Pred::Range {
-                    lo: Some(Val::Int(2)),
-                    lo_incl: true,
-                    hi: None,
-                    hi_incl: true,
-                },
+                pred: Pred::Range { lo: Some(Val::Int(2)), lo_incl: true, hi: None, hi_incl: true },
             }),
             k: 2,
             desc: true,
@@ -728,14 +719,9 @@ mod tests {
     fn memoisation_deduplicates_shared_subplans() {
         let (cat, reg) = setup();
         let exec = Executor::new(&cat, &reg);
-        let shared = Plan::Select {
-            input: Box::new(Plan::load("nums")),
-            pred: Pred::Eq(Val::Int(3)),
-        };
-        let plan = Plan::KUnion {
-            left: Box::new(shared.clone()),
-            right: Box::new(shared),
-        };
+        let shared =
+            Plan::Select { input: Box::new(Plan::load("nums")), pred: Pred::Eq(Val::Int(3)) };
+        let plan = Plan::KUnion { left: Box::new(shared.clone()), right: Box::new(shared) };
         let (_, stats) = exec.run(&plan).unwrap();
         assert_eq!(stats.memo_hits, 1);
 
@@ -839,10 +825,7 @@ mod tests {
         let cat = Catalog::new();
         let reg = OpRegistry::new();
         cat.register("vals", bat_of_floats(vec![0.5, 0.5, 1.0]));
-        cat.register(
-            "map",
-            Bat::dense(Column::Oid(vec![0, 0, 1])),
-        );
+        cat.register("map", Bat::dense(Column::Oid(vec![0, 0, 1])));
         let exec = Executor::new(&cat, &reg);
         let plan = Plan::GroupedAggr {
             values: Box::new(Plan::load("vals")),

@@ -191,9 +191,8 @@ mod tests {
     #[test]
     fn select_range_unsorted_scan() {
         let b = bat_of_ints(vec![10, 3, 7, 8, 1]);
-        let r = b
-            .select_range(Bound::Included(&Val::Int(3)), Bound::Excluded(&Val::Int(8)))
-            .unwrap();
+        let r =
+            b.select_range(Bound::Included(&Val::Int(3)), Bound::Excluded(&Val::Int(8))).unwrap();
         let tails: Vec<_> = r.to_pairs().into_iter().map(|(_, t)| t).collect();
         assert_eq!(tails, vec![Val::Int(3), Val::Int(7)]);
     }
@@ -202,9 +201,8 @@ mod tests {
     fn select_range_sorted_binary_search() {
         let b = bat_of_ints(vec![1, 3, 3, 5, 9]).analyze();
         assert!(b.props().tail_sorted);
-        let r = b
-            .select_range(Bound::Included(&Val::Int(3)), Bound::Included(&Val::Int(5)))
-            .unwrap();
+        let r =
+            b.select_range(Bound::Included(&Val::Int(3)), Bound::Included(&Val::Int(5))).unwrap();
         let tails: Vec<_> = r.to_pairs().into_iter().map(|(_, t)| t).collect();
         assert_eq!(tails, vec![Val::Int(3), Val::Int(3), Val::Int(5)]);
         // heads must point at original rows
@@ -214,9 +212,8 @@ mod tests {
     #[test]
     fn select_range_sorted_excluded_bounds() {
         let b = bat_of_ints(vec![1, 3, 3, 5, 9]).analyze();
-        let r = b
-            .select_range(Bound::Excluded(&Val::Int(3)), Bound::Excluded(&Val::Int(9)))
-            .unwrap();
+        let r =
+            b.select_range(Bound::Excluded(&Val::Int(3)), Bound::Excluded(&Val::Int(9))).unwrap();
         let tails: Vec<_> = r.to_pairs().into_iter().map(|(_, t)| t).collect();
         assert_eq!(tails, vec![Val::Int(5)]);
     }
@@ -224,18 +221,15 @@ mod tests {
     #[test]
     fn select_range_empty_window() {
         let b = bat_of_ints(vec![1, 2, 3]).analyze();
-        let r = b
-            .select_range(Bound::Included(&Val::Int(10)), Bound::Included(&Val::Int(20)))
-            .unwrap();
+        let r =
+            b.select_range(Bound::Included(&Val::Int(10)), Bound::Included(&Val::Int(20))).unwrap();
         assert!(r.is_empty());
     }
 
     #[test]
     fn select_floats() {
         let b = crate::bat::bat_of_floats(vec![0.1, 0.9, 0.5]);
-        let r = b
-            .select_range(Bound::Included(&Val::Float(0.4)), Bound::Unbounded)
-            .unwrap();
+        let r = b.select_range(Bound::Included(&Val::Float(0.4)), Bound::Unbounded).unwrap();
         assert_eq!(r.count(), 2);
     }
 

@@ -113,11 +113,7 @@ mod tests {
 
     #[test]
     fn sort_is_stable() {
-        let b = Bat::new(
-            Column::Oid(vec![10, 11, 12]),
-            Column::Int(vec![1, 1, 0]),
-        )
-        .unwrap();
+        let b = Bat::new(Column::Oid(vec![10, 11, 12]), Column::Int(vec![1, 1, 0])).unwrap();
         let s = b.sort_tail(false);
         // equal keys 1,1 keep original head order 10 then 11
         assert_eq!(s.fetch(1).unwrap().0, Val::Oid(10));

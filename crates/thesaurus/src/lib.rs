@@ -132,11 +132,7 @@ fn chi_square(joint: f64, nt: f64, nv: f64, n: f64) -> f64 {
         (nv - joint, nv - expected),
         (n - nt - nv + joint, n - nt - nv + expected),
     ];
-    cells
-        .iter()
-        .filter(|(_, e)| *e > 0.0)
-        .map(|(o, e)| (o - e) * (o - e) / e)
-        .sum()
+    cells.iter().filter(|(_, e)| *e > 0.0).map(|(o, e)| (o - e) * (o - e) / e).sum()
 }
 
 /// The frozen thesaurus: text term → ranked `(visual term, strength)`.

@@ -12,8 +12,8 @@
 
 use mirror::core::{MirrorConfig, MirrorDbms};
 use mirror::daemon::{
-    mediaserver::fetch_media, DaemonRuntime, FeatureDaemon, MediaServer, Message,
-    SegmenterDaemon, SegmenterKind, TOPIC_CRAWLED, TOPIC_MEDIA,
+    mediaserver::fetch_media, DaemonRuntime, FeatureDaemon, MediaServer, Message, SegmenterDaemon,
+    SegmenterKind, TOPIC_CRAWLED, TOPIC_MEDIA,
 };
 use mirror::media::{standard_extractors, FeatureExtractor, Image, RobotConfig, WebRobot};
 use std::time::Duration;
@@ -101,7 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("\nfeature vectors collected: {n_features} (of which {luma_features} from the late daemon)");
+    println!(
+        "\nfeature vectors collected: {n_features} (of which {luma_features} from the late daemon)"
+    );
 
     // the media server answers fetches (the demo's image display path)
     let blob = fetch_media(rt.bus(), &corpus[0].url, Duration::from_secs(2))

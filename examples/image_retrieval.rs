@@ -37,21 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vocab = db.vocabulary().unwrap();
     println!("\nvisual vocabularies (AutoClass-selected sizes):");
     for space in vocab.spaces() {
-        println!(
-            "  {space:<8} {} clusters",
-            vocab.model(&space).unwrap().n_clusters()
-        );
+        println!("  {space:<8} {} clusters", vocab.model(&space).unwrap().n_clusters());
     }
 
     let th = db.thesaurus().unwrap();
     println!("\nthesaurus: {} text terms associated with visual terms", th.n_terms());
     for term in ["sunset", "forest", "ocean"] {
         let assoc = th.associations(term);
-        let head: Vec<String> = assoc
-            .iter()
-            .take(3)
-            .map(|(v, s)| format!("{v} ({s:.3})"))
-            .collect();
+        let head: Vec<String> =
+            assoc.iter().take(3).map(|(v, s)| format!("{v} ({s:.3})")).collect();
         println!("  {term:<8} → {}", head.join(", "));
     }
 

@@ -65,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nbeliefs for query {{sunset, beach}}:");
     let mut pairs = ranking.pairs().unwrap().to_vec();
-    pairs.sort_by(|a, b| {
-        b.1.as_float().unwrap().total_cmp(&a.1.as_float().unwrap())
-    });
+    pairs.sort_by(|a, b| b.1.as_float().unwrap().total_cmp(&a.1.as_float().unwrap()));
     for (oid, belief) in &pairs {
         println!(
             "  doc {oid}  belief {:.4}   {}",

@@ -42,12 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             query.visual.len()
         );
         for r in results.iter().take(3) {
-            println!(
-                "    {:.4} {} {}",
-                r.score,
-                r.url,
-                if is_relevant(r.oid) { "✓" } else { "✗" }
-            );
+            println!("    {:.4} {} {}", r.score, r.url, if is_relevant(r.oid) { "✓" } else { "✗" });
         }
         // the user marks the true positives of this round
         let relevant: Vec<_> = results.iter().map(|r| r.oid).filter(|&o| is_relevant(o)).collect();
@@ -61,11 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         query = improved;
     }
 
-    let final_p = precision_at_k(
-        &results.iter().map(|r| r.oid).collect::<Vec<_>>(),
-        is_relevant,
-        K,
-    );
+    let final_p =
+        precision_at_k(&results.iter().map(|r| r.oid).collect::<Vec<_>>(), is_relevant, K);
     println!("\nfinal precision@{K}: {final_p:.3}");
     println!(
         "expanded text terms: {:?}",

@@ -98,11 +98,8 @@ fn combined_structure_content_query_filters_and_ranks() {
 fn relational_queries_coexist_with_ranking() {
     let db = db();
     // pure data retrieval over the same collection
-    let out = db
-        .moa_query(&format!(
-            "select[contains(THIS.source, \"/ocean/\")]({INTERNAL})"
-        ))
-        .unwrap();
+    let out =
+        db.moa_query(&format!("select[contains(THIS.source, \"/ocean/\")]({INTERNAL})")).unwrap();
     let QueryOutput::Oids(oids) = out else { panic!("expected oids") };
     assert!(!oids.is_empty());
     for oid in &oids {
@@ -117,9 +114,7 @@ fn relational_queries_coexist_with_ranking() {
 fn naive_interpreter_agrees_with_flattened_engine_end_to_end() {
     let db = db();
     db.env().bind_query("e2enaive", vec![("sunset".into(), 1.0), ("glow".into(), 1.0)]);
-    let q = format!(
-        "map[sum(THIS)](map[getBL(THIS.annotation, e2enaive, stats)]({INTERNAL}))"
-    );
+    let q = format!("map[sum(THIS)](map[getBL(THIS.annotation, e2enaive, stats)]({INTERNAL}))");
     let flat = db.moa_query(&q).unwrap();
     let naive = mirror::moa::naive::NaiveEngine::new(db.env()).query(&q).unwrap();
     let (QueryOutput::Pairs(f), QueryOutput::Pairs(n)) = (&flat, &naive) else {
@@ -182,10 +177,6 @@ fn catalog_is_fully_binary_relational() {
     let db = db();
     for name in db.env().catalog().names() {
         let bat = db.env().catalog().get(&name).unwrap();
-        assert_eq!(
-            bat.head().len(),
-            bat.tail().len(),
-            "BAT {name} has asymmetric columns"
-        );
+        assert_eq!(bat.head().len(), bat.tail().len(), "BAT {name} has asymmetric columns");
     }
 }

@@ -3,7 +3,7 @@
 //! capitalisation quirks.
 
 use mirror::ir::register_contrep;
-use mirror::moa::{parse_define, parse_expr, Env, MoaEngine, MoaVal};
+use mirror::moa::{parse_define, Env, MoaEngine, MoaVal};
 use std::sync::Arc;
 
 /// Section 3, verbatim (the paper prints `TraditionalimgLib` with a
@@ -113,11 +113,7 @@ fn section_5_query_parses_and_runs_verbatim() {
             MoaVal::str("a red sunset"),
             MoaVal::str("rgb_0 gabor_21 rgb_0"),
         ]),
-        MoaVal::Tuple(vec![
-            MoaVal::str("http://b"),
-            MoaVal::Null,
-            MoaVal::str("rgb_1 gabor_5"),
-        ]),
+        MoaVal::Tuple(vec![MoaVal::str("http://b"), MoaVal::Null, MoaVal::str("rgb_1 gabor_5")]),
     ];
     env.create_collection(name, ty, rows).unwrap();
     // "Assuming that the result is a Moa expression called query" — the

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the API slice the E1–E8 benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock harness: each
+//! benchmark is warmed up once, then timed over `sample_size` samples and
+//! reported as min / median / max per iteration. Statistical machinery
+//! (outlier analysis, HTML reports) is intentionally absent; the harness
+//! exists so `cargo bench` runs and `cargo bench --no-run` gates compilation
+//! in CI.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group, e.g. `flattened/20000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into an id.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render to the display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    n_samples: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly, recording one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up / correctness pass (the only pass in --test mode)
+        black_box(routine());
+        if self.test_mode {
+            return;
+        }
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    /// Per-group override; like real criterion, it does not leak into
+    /// later groups of the same binary.
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the per-benchmark measurement budget (accepted for API
+    /// compatibility; the stub times a fixed number of samples instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    /// Benchmark a routine parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager created by [`criterion_group!`].
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Apply harness CLI arguments (`--test` runs every routine once;
+    /// `--bench` and criterion-style flags are accepted and ignored; a bare
+    /// token filters benchmarks by substring).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "--noplot" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = v;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // unknown long flag: also consume its value-shaped
+                    // follower, so it is not mistaken for a name filter
+                    if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Explicitly set the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.to_string(), criterion: self, sample_size }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        let samples = self.sample_size;
+        self.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, full_id: &str, samples: usize, f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            n_samples: samples,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {full_id} ... ok");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_id:<48} (no samples)");
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{full_id:<48} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max)
+        );
+    }
+
+    /// Printed once by [`criterion_main!`] after all groups run.
+    pub fn final_summary() {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion { sample_size: 3, test_mode: false, filter: None };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("p", 7), &7, |b, &x| b.iter(|| black_box(x)));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_later_groups() {
+        let mut c = Criterion { sample_size: 2, test_mode: false, filter: None };
+        let mut first = 0u64;
+        {
+            let mut g = c.benchmark_group("a");
+            g.sample_size(5);
+            g.bench_function("f", |b| b.iter(|| first += 1));
+            g.finish();
+        }
+        assert_eq!(first, 6); // warm-up + 5 samples
+        let mut second = 0u64;
+        {
+            let mut g = c.benchmark_group("b");
+            g.bench_function("f", |b| b.iter(|| second += 1));
+            g.finish();
+        }
+        assert_eq!(second, 3); // warm-up + the default 2 samples, not 5
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { sample_size: 10, test_mode: true, filter: None };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { sample_size: 2, test_mode: false, filter: Some("match".into()) };
+        let mut ran = 0u64;
+        c.bench_function("no_hit", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        c.bench_function("does_match", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("flattened", 20_000).to_string(), "flattened/20000");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

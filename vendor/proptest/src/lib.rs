@@ -1,0 +1,519 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the API that Mirror's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(pat in strategy, ...) { body }`,
+//!   with an optional `#![proptest_config(...)]` header);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies for numeric ranges, string literals interpreted as
+//!   character-class regexes (`"[a-z]{1,8}"`), strategy tuples, and
+//!   [`collection::vec`] / [`collection::hash_set`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Inputs are drawn from a deterministic per-test RNG (seeded from the
+//! test name), so failures reproduce across runs. Shrinking is not
+//! implemented: a failing case reports its case number and message.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategy implementations.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + Clone> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String literals are regex-style character-class patterns, e.g.
+    /// `"[a-z]{1,8}"` or `"[a-zA-Z ,.!]{0,80}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng), self.2.new_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.new_value(rng),
+                self.1.new_value(rng),
+                self.2.new_value(rng),
+                self.3.new_value(rng),
+            )
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`] and [`hash_set`].
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// lies in `size` (half-open, like proptest's `0..80`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate hash sets; duplicates are retried a bounded number of times,
+    /// so the final size may fall below the drawn target when the element
+    /// domain is small.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = sample_len(&self.size, rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    fn sample_len(size: &Range<usize>, rng: &mut StdRng) -> usize {
+        if size.start >= size.end {
+            size.start
+        } else {
+            rng.gen_range(size.clone())
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the character-class regex subset.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generate a string matching a pattern made of character classes with
+    /// optional `{min,max}` / `{n}` quantifiers, e.g. `[a-z]{1,8}`,
+    /// `[a-zA-Z ,.!]{0,80}`. Literal characters outside classes are copied
+    /// through. Unsupported constructs panic with a clear message, so an
+    /// unportable pattern fails loudly rather than silently degrading.
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '[' => {
+                    let (alphabet, next) = parse_class(&chars, i);
+                    let (lo, hi, next) = parse_quantifier(&chars, next);
+                    let n = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+                    for _ in 0..n {
+                        out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+                    }
+                    i = next;
+                }
+                '\\' if i + 1 < chars.len() => {
+                    out.push(chars[i + 1]);
+                    i += 2;
+                }
+                c @ ('.' | '*' | '+' | '?' | '(' | ')' | '|') => {
+                    panic!("proptest stub: unsupported regex construct {c:?} in {pattern:?}")
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse `[...]` starting at `start` (which must index `[`); returns the
+    /// expanded alphabet and the index just past `]`.
+    fn parse_class(chars: &[char], start: usize) -> (Vec<char>, usize) {
+        let mut alphabet = Vec::new();
+        let mut i = start + 1;
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '\\' && i + 1 < chars.len() {
+                alphabet.push(chars[i + 1]);
+                i += 2;
+            } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "proptest stub: bad class range {lo}-{hi}");
+                for c in lo..=hi {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "proptest stub: unterminated character class");
+        assert!(!alphabet.is_empty(), "proptest stub: empty character class");
+        (alphabet, i + 1)
+    }
+
+    /// Parse an optional `{n}` / `{min,max}` quantifier at `start`; returns
+    /// `(min, max, next_index)`. No quantifier means exactly one repetition.
+    fn parse_quantifier(chars: &[char], start: usize) -> (usize, usize, usize) {
+        if start >= chars.len() || chars[start] != '{' {
+            return (1, 1, start);
+        }
+        let close = chars[start..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| start + p)
+            .expect("proptest stub: unterminated quantifier");
+        let body: String = chars[start + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("quantifier min"),
+                hi.trim().parse().expect("quantifier max"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        };
+        (lo, hi, close + 1)
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and failure plumbing used by the [`crate::proptest!`]
+    //! macro expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// How many cases each property runs, and (for API compatibility) any
+    /// other knobs tests set via `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (assertion message).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-test RNG: seeded from the test's name so every run
+    /// (and every CI machine) generates the same cases.
+    pub fn seeded_rng(test_name: &str) -> StdRng {
+        let mut seed: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `use proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` random inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::seeded_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest property {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Property-test assertion; returns a failure (rather than panicking) so
+/// the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                left, right, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                left,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`: {}",
+                left, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::seeded_rng;
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let mut rng = seeded_rng("range");
+        for _ in 0..1000 {
+            let v = (0u32..40).new_value(&mut rng);
+            assert!(v < 40);
+            let f = (-1e6f64..1e6).new_value(&mut rng);
+            assert!((-1e6..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_strategy_matches_class() {
+        let mut rng = seeded_rng("string");
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".new_value(&mut rng);
+            assert!((1..=8).contains(&s.len()), "bad len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z ,.!]{0,80}".new_value(&mut rng);
+            assert!(t.len() <= 80);
+            assert!(t.chars().all(|c| c.is_ascii_alphabetic() || " ,.!".contains(c)));
+        }
+    }
+
+    #[test]
+    fn collection_strategies() {
+        let mut rng = seeded_rng("coll");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0i64..100, 1..40).new_value(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..100).contains(&x)));
+            let hs = crate::collection::hash_set(0u32..50, 0..30).new_value(&mut rng);
+            assert!(hs.len() < 30);
+            let nested = crate::collection::vec(crate::collection::vec("[a-z]{1,6}", 0..12), 1..20)
+                .new_value(&mut rng);
+            assert!(!nested.is_empty());
+        }
+    }
+
+    #[test]
+    fn tuple_strategy() {
+        let mut rng = seeded_rng("tuple");
+        let (x, y) = (0i64..100, 0i64..100).new_value(&mut rng);
+        assert!((0..100).contains(&x) && (0..100).contains(&y));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = seeded_rng("same");
+        let mut b = seeded_rng("same");
+        for _ in 0..50 {
+            assert_eq!((0u32..1000).new_value(&mut a), (0u32..1000).new_value(&mut b));
+        }
+    }
+
+    // the macro itself, exercised end to end
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(
+            mut xs in crate::collection::vec(0i64..50, 0..20),
+            y in 0i64..50,
+        ) {
+            xs.push(y);
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(xs.last().copied(), Some(y));
+            prop_assert_ne!(xs.len(), 0, "length {}", xs.len());
+        }
+    }
+}
