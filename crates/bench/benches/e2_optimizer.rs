@@ -17,7 +17,10 @@ const SLOPPY_QUERY: &str = "select[contains(THIS.source, \"7\")](
 fn bench(c: &mut Criterion) {
     let env = text_env(10_000, 42);
     bind_bench_query(&env);
-    let optimised = MoaEngine::with_opt(Arc::clone(&env), OptConfig::default());
+    // pin parallelism to serial across every configuration so the ablation
+    // measures the algebraic rewrites alone, not fragment-parallel speedup
+    let optimised =
+        MoaEngine::with_opt(Arc::clone(&env), OptConfig { parallelism: 1, ..OptConfig::default() });
     let ablated = MoaEngine::with_opt(Arc::clone(&env), OptConfig::none());
 
     // both must agree before we measure
@@ -31,9 +34,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("unoptimized", |bch| bch.iter(|| ablated.query(SLOPPY_QUERY).unwrap()));
     // individual switches
     for (label, opt) in [
-        ("pushdown_only", OptConfig { pushdown: true, peephole: false, memoize: false }),
-        ("memoize_only", OptConfig { pushdown: false, peephole: false, memoize: true }),
-        ("peephole_only", OptConfig { pushdown: false, peephole: true, memoize: false }),
+        ("pushdown_only", OptConfig { pushdown: true, ..OptConfig::none() }),
+        ("memoize_only", OptConfig { memoize: true, ..OptConfig::none() }),
+        ("peephole_only", OptConfig { peephole: true, ..OptConfig::none() }),
     ] {
         let eng = MoaEngine::with_opt(Arc::clone(&env), opt);
         group.bench_function(label, |bch| bch.iter(|| eng.query(SLOPPY_QUERY).unwrap()));

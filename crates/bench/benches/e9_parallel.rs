@@ -1,0 +1,39 @@
+//! E9 — fragmented parallel execution of the set-at-a-time kernel
+//! (ROADMAP: "runs as fast as the hardware allows").
+//!
+//! The same 1M-row scan/select (and scan/select/sum) plan runs through
+//! [`monet::ParallelExecutor`] at increasing fragmentation degrees; degree 1
+//! is the serial baseline every other degree is compared against. The
+//! acceptance bar for this experiment is ≥ 1.5× at degree 4 on the select
+//! workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::{kernel_scan_aggr_plan, kernel_scan_catalog, kernel_scan_plan};
+use monet::{OpRegistry, ParallelExecutor};
+
+const ROWS: usize = 1_000_000;
+
+fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("e9_parallel: host has {cores} core(s) — speedup is bounded by that");
+    let cat = kernel_scan_catalog(ROWS, 42);
+    let reg = OpRegistry::new();
+    let select = kernel_scan_plan();
+    let aggr = kernel_scan_aggr_plan();
+
+    let mut group = c.benchmark_group("e9_parallel");
+    group.sample_size(10);
+    for &degree in &[1usize, 2, 4, 8] {
+        let ex = ParallelExecutor::new(&cat, &reg, degree);
+        group.bench_with_input(BenchmarkId::new("select_1m", degree), &degree, |b, _| {
+            b.iter(|| ex.run_bat(&select).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("select_sum_1m", degree), &degree, |b, _| {
+            b.iter(|| ex.run_bat(&aggr).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! (`benches/e*.rs`) and the `report` binary that regenerates the
 //! EXPERIMENTS.md tables.
 
+#![warn(missing_docs)]
+
 use media::{CrawledImage, RobotConfig, WebRobot};
 use mirror_core::{Clustering, MirrorConfig, MirrorDbms};
 use moa::{Env, MoaEngine};
@@ -80,6 +82,35 @@ pub fn ingested_db(n: usize, seed: u64, clustering: Clustering) -> MirrorDbms {
     let mut db = MirrorDbms::new(MirrorConfig { clustering, ..Default::default() });
     db.ingest(&image_corpus(n, seed)).expect("ingest succeeds");
     db
+}
+
+/// A kernel catalog holding the E9 scan workload: `scores`, `n` uniformly
+/// random floats in `[0, 1)` under a dense head — the E1-style
+/// set-at-a-time scan/select substrate at kernel level.
+pub fn kernel_scan_catalog(n: usize, seed: u64) -> monet::Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let cat = monet::Catalog::new();
+    cat.register("scores", monet::bat::bat_of_floats(vals));
+    cat
+}
+
+/// The E9 scan/select plan: a ~50%-selectivity range scan over `scores`.
+pub fn kernel_scan_plan() -> monet::Plan {
+    monet::Plan::Select {
+        input: Box::new(monet::Plan::load("scores")),
+        pred: monet::Pred::Range {
+            lo: Some(monet::Val::Float(0.25)),
+            lo_incl: true,
+            hi: Some(monet::Val::Float(0.75)),
+            hi_incl: false,
+        },
+    }
+}
+
+/// The E9 aggregation plan: scan/select then sum the surviving tails.
+pub fn kernel_scan_aggr_plan() -> monet::Plan {
+    monet::Plan::Aggr { input: Box::new(kernel_scan_plan()), agg: monet::Agg::Sum }
 }
 
 /// Wall-clock one closure in milliseconds.

@@ -16,6 +16,8 @@
 //! `space_cluster` visual-term strings (`gabor_21`) that flow into
 //! `CONTREP<Image>`.
 
+#![warn(missing_docs)]
+
 pub mod autoclass;
 pub mod kmeans;
 pub mod vocab;

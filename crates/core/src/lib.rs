@@ -20,6 +20,8 @@
 //! * relevance feedback ([`feedback`]) and retrieval evaluation
 //!   ([`eval`]).
 
+#![warn(missing_docs)]
+
 pub mod eval;
 pub mod feedback;
 pub mod ingest;
@@ -55,6 +57,10 @@ pub struct MirrorConfig {
     pub expand_max_terms: usize,
     /// Keep raw rows for the naive-interpreter baseline (costs memory).
     pub keep_raw: bool,
+    /// Fragment-parallel execution degree for query plans: `0` = auto (one
+    /// thread per available core), `1` = serial, `n` = exactly `n` threads
+    /// per fragmented operator.
+    pub parallelism: usize,
     /// Seed for all stochastic stages.
     pub seed: u64,
 }
@@ -68,6 +74,7 @@ impl Default for MirrorConfig {
             expand_per_term: 4,
             expand_max_terms: 12,
             keep_raw: false,
+            parallelism: 0,
             seed: 42,
         }
     }
@@ -108,7 +115,8 @@ impl MirrorDbms {
         env.keep_raw = config.keep_raw;
         let store = ir::register_contrep(&env);
         let env = Arc::new(env);
-        let engine = MoaEngine::new(Arc::clone(&env));
+        let opt = OptConfig { parallelism: config.parallelism, ..OptConfig::default() };
+        let engine = MoaEngine::with_opt(Arc::clone(&env), opt);
         MirrorDbms { env, store, engine, config, vocab: None, thesaurus: None, docs: Vec::new() }
     }
 

@@ -18,6 +18,8 @@
 //! (daemon lifecycle), [`daemons`] (segmenter + feature extractors),
 //! [`mediaserver`] (the blob store of Figure 1).
 
+#![warn(missing_docs)]
+
 pub mod bus;
 pub mod daemons;
 pub mod formulation;

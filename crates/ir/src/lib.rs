@@ -22,6 +22,8 @@
 //! the paper: *new structures in Moa, supported by new probabilistic
 //! operators at the physical level*.
 
+#![warn(missing_docs)]
+
 pub mod belief;
 pub mod contrep;
 pub mod dict;

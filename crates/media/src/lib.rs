@@ -23,6 +23,8 @@
 //!
 //! Everything is deterministic given a seed.
 
+#![warn(missing_docs)]
+
 pub mod color;
 pub mod image;
 pub mod robot;

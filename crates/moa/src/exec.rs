@@ -94,6 +94,7 @@ impl MoaEngine {
         let plan = rewrite_physical(&plan, self.opt);
         let mut exec = Executor::new(self.env.catalog(), self.env.ops());
         exec.memoize = self.opt.memoize;
+        exec.degree = monet::fragment::resolve_degree(self.opt.parallelism);
         let (bat, stats) = exec.run(&plan).map_err(MoaError::from)?;
         let out = match rep {
             Rep::Rows { .. } => {

@@ -25,6 +25,8 @@
 //!   serves as the baseline for the set-at-a-time scalability experiment;
 //! * the execution facade ([`exec::MoaEngine`]).
 
+#![warn(missing_docs)]
+
 pub mod env;
 pub mod exec;
 pub mod expr;

@@ -29,18 +29,22 @@ pub struct OptConfig {
     pub peephole: bool,
     /// Memoise common subexpressions during execution.
     pub memoize: bool,
+    /// Fragment-parallel execution degree for the kernel executor:
+    /// `0` = auto (one thread per available core), `1` = serial,
+    /// `n` = exactly `n` threads per fragmented operator.
+    pub parallelism: usize,
 }
 
 impl Default for OptConfig {
     fn default() -> Self {
-        OptConfig { pushdown: true, peephole: true, memoize: true }
+        OptConfig { pushdown: true, peephole: true, memoize: true, parallelism: 0 }
     }
 }
 
 impl OptConfig {
-    /// Everything off — the unoptimised baseline for the ablation.
+    /// Everything off — the unoptimised, serial baseline for the ablation.
     pub fn none() -> Self {
-        OptConfig { pushdown: false, peephole: false, memoize: false }
+        OptConfig { pushdown: false, peephole: false, memoize: false, parallelism: 1 }
     }
 }
 

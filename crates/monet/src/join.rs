@@ -50,6 +50,78 @@ pub(crate) fn check_joinable(op: &'static str, a: &Column, b: &Column) -> Result
     }
 }
 
+/// Probe the row span `[span.0, span.1)` of an oid-typed probe column
+/// against a void build head `[start, start+len)`. Returns global
+/// `(left, right)` position pairs in probe-row order; both the serial fetch
+/// join and each parallel fragment funnel through here.
+pub(crate) fn fetch_probe_span(
+    lt: &Column,
+    start: Oid,
+    len: usize,
+    span: (usize, usize),
+) -> Result<(Vec<u32>, Vec<u32>)> {
+    let (lo, hi) = span;
+    let mut left_pos: Vec<u32> = Vec::with_capacity(hi - lo);
+    let mut right_pos: Vec<u32> = Vec::with_capacity(hi - lo);
+    match lt {
+        Column::Void { start: s2, .. } => {
+            for i in lo..hi {
+                let o = s2 + i as Oid;
+                if o >= start && ((o - start) as usize) < len {
+                    left_pos.push(i as u32);
+                    right_pos.push(o - start);
+                }
+            }
+        }
+        Column::Oid(v) => {
+            for (i, &o) in v[lo..hi].iter().enumerate() {
+                if o >= start && ((o - start) as usize) < len {
+                    left_pos.push((lo + i) as u32);
+                    right_pos.push(o - start);
+                }
+            }
+        }
+        other_col => {
+            return Err(MonetError::TypeMismatch {
+                op: "fetch_join",
+                expected: "oid",
+                found: other_col.ty_str(),
+            })
+        }
+    }
+    Ok((left_pos, right_pos))
+}
+
+/// Build the hash-join table on a build-side head: key → positions (in
+/// ascending build order, which keeps fragment output identical to serial).
+pub(crate) fn build_hash_table(rh: &Column) -> FxHashMap<KeyRef<'_>, Vec<u32>> {
+    let mut table: FxHashMap<KeyRef<'_>, Vec<u32>> = FxHashMap::default();
+    for j in 0..rh.len() {
+        table.entry(key_at(rh, j)).or_default().push(j as u32);
+    }
+    table
+}
+
+/// Probe the row span `[span.0, span.1)` of a probe column against a
+/// prebuilt hash table; returns global `(left, right)` position pairs.
+pub(crate) fn hash_probe_span<'a>(
+    lt: &'a Column,
+    table: &FxHashMap<KeyRef<'a>, Vec<u32>>,
+    span: (usize, usize),
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left_pos = Vec::new();
+    let mut right_pos = Vec::new();
+    for i in span.0..span.1 {
+        if let Some(matches) = table.get(&key_at(lt, i)) {
+            for &j in matches {
+                left_pos.push(i as u32);
+                right_pos.push(j);
+            }
+        }
+    }
+    (left_pos, right_pos)
+}
+
 impl Bat {
     /// `join(self, other)`: `[self.head, other.tail]` where
     /// `self.tail == other.head`. Produces one output row per matching
@@ -77,36 +149,7 @@ impl Bat {
     /// `other.tail[oid - start]`; oids outside the range simply do not
     /// match (inner-join semantics).
     pub fn fetch_join(&self, other: &Bat, start: Oid, len: usize) -> Result<Bat> {
-        let n = self.count();
-        // Fast path: dense-on-dense full cover → pure positional gather.
-        let mut left_pos: Vec<u32> = Vec::with_capacity(n);
-        let mut right_pos: Vec<u32> = Vec::with_capacity(n);
-        match self.tail() {
-            Column::Void { start: s2, len: l2 } => {
-                for i in 0..*l2 {
-                    let o = s2 + i as Oid;
-                    if o >= start && ((o - start) as usize) < len {
-                        left_pos.push(i as u32);
-                        right_pos.push(o - start);
-                    }
-                }
-            }
-            Column::Oid(v) => {
-                for (i, &o) in v.iter().enumerate() {
-                    if o >= start && ((o - start) as usize) < len {
-                        left_pos.push(i as u32);
-                        right_pos.push(o - start);
-                    }
-                }
-            }
-            other_col => {
-                return Err(MonetError::TypeMismatch {
-                    op: "fetch_join",
-                    expected: "oid",
-                    found: other_col.ty_str(),
-                })
-            }
-        }
+        let (left_pos, right_pos) = fetch_probe_span(self.tail(), start, len, (0, self.count()))?;
         let head = self.head().take(&left_pos);
         let tail = other.tail().take(&right_pos);
         let props = Props {
@@ -153,23 +196,8 @@ impl Bat {
     }
 
     fn hash_join(&self, other: &Bat) -> Result<Bat> {
-        // Build on other.head: key -> positions.
-        let mut table: FxHashMap<KeyRef<'_>, Vec<u32>> = FxHashMap::default();
-        let rh = other.head();
-        for j in 0..rh.len() {
-            table.entry(key_at(rh, j)).or_default().push(j as u32);
-        }
-        let mut left_pos = Vec::new();
-        let mut right_pos = Vec::new();
-        let lt = self.tail();
-        for i in 0..lt.len() {
-            if let Some(matches) = table.get(&key_at(lt, i)) {
-                for &j in matches {
-                    left_pos.push(i as u32);
-                    right_pos.push(j);
-                }
-            }
-        }
+        let table = build_hash_table(other.head());
+        let (left_pos, right_pos) = hash_probe_span(self.tail(), &table, (0, self.count()));
         let head = self.head().take(&left_pos);
         let tail = other.tail().take(&right_pos);
         Ok(Bat::from_arcs(Arc::new(head), Arc::new(tail), Props::unknown()))

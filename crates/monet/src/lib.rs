@@ -23,12 +23,19 @@
 //! * an extension registry ([`ext::OpRegistry`]) through which higher
 //!   layers register new *physical operators* — exactly how the Mirror
 //!   paper's probabilistic `getBL` operator is added without the kernel
-//!   knowing anything about information retrieval.
+//!   knowing anything about information retrieval;
+//! * horizontal fragmentation and data-parallel operator execution
+//!   ([`fragment`]): `select`, `join` (probe side), aggregates and
+//!   projection split into oid-range fragments that run on scoped threads
+//!   and merge value-identically to the serial path — the
+//!   [`ParallelExecutor`] scales whole plans across cores.
 //!
 //! Set-at-a-time execution over these operators is what the paper calls
 //! "design for scalability"; the Moa layer (crate `mirror-moa`) flattens
 //! logical object-algebra expressions into [`plan::Plan`]s over this
 //! kernel.
+
+#![warn(missing_docs)]
 
 pub mod aggr;
 pub mod bat;
@@ -36,6 +43,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod ext;
+pub mod fragment;
 pub mod fxhash;
 pub mod group;
 pub mod join;
@@ -54,7 +62,8 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{MonetError, Result};
 pub use ext::{OpCtx, OpRegistry};
-pub use plan::{ArithOp, ExecStats, Executor, Plan, Pred};
+pub use fragment::ParallelExecutor;
+pub use plan::{ArithOp, ExecStats, Executor, NodeTrace, Plan, Pred};
 pub use props::Props;
 pub use strdict::StrDict;
 pub use value::{MonetType, Oid, Val};

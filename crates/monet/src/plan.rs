@@ -6,6 +6,15 @@
 //! per-operator statistics (operator invocations, rows produced, wall
 //! time) and optionally memoising common subexpressions — the mechanism
 //! behind the optimizer ablation experiment (E2).
+//!
+//! When [`Executor::degree`] is raised above 1 (directly, or via
+//! [`crate::fragment::ParallelExecutor`]), the fragment-parallelisable
+//! operators — `select`, `join` (probe side), `aggr` and `grouped_aggr`
+//! (`Sum`/`Count`) — execute per oid-range fragment on scoped threads and
+//! merge, as long as their input reaches [`Executor::min_fragment_rows`];
+//! `project` and `mark` stay serial because constant/void fills are pure
+//! memory bandwidth. [`Executor::explain`] shows, per operator, whether it
+//! actually ran fragmented and at what degree.
 
 use crate::aggr::Agg;
 use crate::bat::Bat;
@@ -390,44 +399,49 @@ impl Plan {
     /// Indented EXPLAIN rendering of the plan tree.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_into(&mut out, 0, None);
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    fn explain_into(&self, out: &mut String, depth: usize, trace: Option<&ExecStats>) {
         for _ in 0..depth {
             out.push_str("  ");
         }
-        match self {
-            Plan::Load(n) => {
-                let _ = writeln!(out, "load({n})");
-            }
-            Plan::Const(b) => {
-                let _ = writeln!(out, "const[{} rows]", b.count());
-            }
-            Plan::Select { pred, .. } => {
-                let _ = writeln!(out, "select[{pred:?}]");
-            }
-            Plan::Custom { op, params, .. } => {
-                let _ = writeln!(out, "custom[{op}]({params:?})");
-            }
-            Plan::Aggr { agg, .. } => {
-                let _ = writeln!(out, "aggr[{agg}]");
-            }
-            Plan::GroupedAggr { agg, .. } => {
-                let _ = writeln!(out, "grouped_aggr[{agg}]");
-            }
-            Plan::TopN { k, desc, .. } => {
-                let _ = writeln!(out, "topn[k={k}, desc={desc}]");
-            }
-            other => {
-                let _ = writeln!(out, "{}", other.op_name());
+        let label = match self {
+            Plan::Load(n) => format!("load({n})"),
+            Plan::Const(b) => format!("const[{} rows]", b.count()),
+            Plan::Select { pred, .. } => format!("select[{pred:?}]"),
+            Plan::Custom { op, params, .. } => format!("custom[{op}]({params:?})"),
+            Plan::Aggr { agg, .. } => format!("aggr[{agg}]"),
+            Plan::GroupedAggr { agg, .. } => format!("grouped_aggr[{agg}]"),
+            Plan::TopN { k, desc, .. } => format!("topn[k={k}, desc={desc}]"),
+            other => other.op_name().to_string(),
+        };
+        out.push_str(&label);
+        if let Some(stats) = trace {
+            if let Some(t) = stats.node_trace.get(&self.fingerprint()) {
+                if t.degree > 1 {
+                    let _ = write!(out, "  [rows={}, fragmented ×{}]", t.rows, t.degree);
+                } else {
+                    let _ = write!(out, "  [rows={}, serial]", t.rows);
+                }
             }
         }
+        out.push('\n');
         for c in self.children() {
-            c.explain_into(out, depth + 1);
+            c.explain_into(out, depth + 1, trace);
         }
     }
+}
+
+/// What one plan node did during execution: rows it produced and the
+/// fragmentation degree it ran at (1 = serial).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTrace {
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Fragmentation degree the operator actually used (1 = serial).
+    pub degree: usize,
 }
 
 /// Counters collected during one plan execution.
@@ -441,6 +455,13 @@ pub struct ExecStats {
     pub memo_hits: u64,
     /// Total operators evaluated (memo hits excluded).
     pub ops_evaluated: u64,
+    /// Operators that ran fragment-parallel (degree > 1).
+    pub fragmented_ops: u64,
+    /// The executor's configured parallelism degree.
+    pub degree: usize,
+    /// Per-node execution trace, keyed by plan fingerprint — feeds
+    /// [`Executor::explain`].
+    pub node_trace: FxHashMap<u64, NodeTrace>,
     /// Wall time of the full execution in nanoseconds.
     pub wall_ns: u128,
 }
@@ -449,8 +470,9 @@ impl ExecStats {
     /// Short single-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} ops, {} rows, {} memo hits, {:.3} ms",
+            "{} ops ({} fragmented), {} rows, {} memo hits, {:.3} ms",
             self.ops_evaluated,
+            self.fragmented_ops,
             self.rows_produced,
             self.memo_hits,
             self.wall_ns as f64 / 1e6
@@ -464,18 +486,30 @@ pub struct Executor<'a> {
     registry: &'a OpRegistry,
     /// Enable common-subexpression memoisation within one `run`.
     pub memoize: bool,
+    /// Fragment-parallel degree for the parallelisable operators; 1 (the
+    /// default) executes everything serially. Use
+    /// [`crate::fragment::resolve_degree`] to map 0/auto to the core count.
+    pub degree: usize,
+    /// Inputs smaller than this stay serial regardless of `degree`.
+    pub min_fragment_rows: usize,
 }
 
 impl<'a> Executor<'a> {
     /// Create an executor over a catalog and operator registry; memoisation
-    /// defaults to on.
+    /// defaults to on, execution to serial.
     pub fn new(catalog: &'a Catalog, registry: &'a OpRegistry) -> Self {
-        Executor { catalog, registry, memoize: true }
+        Executor {
+            catalog,
+            registry,
+            memoize: true,
+            degree: 1,
+            min_fragment_rows: crate::fragment::DEFAULT_MIN_FRAGMENT_ROWS,
+        }
     }
 
     /// Execute a plan, returning the result BAT and execution statistics.
     pub fn run(&self, plan: &Plan) -> Result<(Arc<Bat>, ExecStats)> {
-        let mut stats = ExecStats::default();
+        let mut stats = ExecStats { degree: self.degree, ..ExecStats::default() };
         let mut memo: FxHashMap<u64, Arc<Bat>> = FxHashMap::default();
         let start = Instant::now();
         let out = self.eval(plan, &mut stats, &mut memo)?;
@@ -488,30 +522,74 @@ impl<'a> Executor<'a> {
         Ok(self.run(plan)?.0)
     }
 
+    /// EXPLAIN ANALYZE: execute the plan, then render the tree with each
+    /// operator annotated by the rows it produced and whether it ran
+    /// fragmented (`fragmented ×N`) or serially.
+    pub fn explain(&self, plan: &Plan) -> Result<String> {
+        let (_, stats) = self.run(plan)?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "-- degree {} · {} of {} ops fragmented --",
+            self.degree, stats.fragmented_ops, stats.ops_evaluated
+        );
+        plan.explain_into(&mut out, 0, Some(&stats));
+        Ok(out)
+    }
+
+    /// The fragmentation degree an operator over `rows` input rows should
+    /// use: the configured degree when parallelism is on and the input is
+    /// big enough, 1 (serial) otherwise.
+    fn frag_degree(&self, rows: usize) -> usize {
+        if self.degree > 1 && rows >= self.min_fragment_rows.max(2) {
+            self.degree
+        } else {
+            1
+        }
+    }
+
     fn eval(
         &self,
         plan: &Plan,
         stats: &mut ExecStats,
         memo: &mut FxHashMap<u64, Arc<Bat>>,
     ) -> Result<Arc<Bat>> {
-        let fp = if self.memoize { plan.fingerprint() } else { 0 };
+        let fp = plan.fingerprint();
         if self.memoize {
             if let Some(hit) = memo.get(&fp) {
                 stats.memo_hits += 1;
                 return Ok(Arc::clone(hit));
             }
         }
+        // Degree this node actually fragments at; set by the parallelisable
+        // operator arms, recorded in the node trace below.
+        let mut frag = 1usize;
         let out: Arc<Bat> = match plan {
             Plan::Load(name) => self.catalog.get(name)?,
             Plan::Const(b) => Arc::clone(b),
             Plan::Select { input, pred } => {
                 let b = self.eval(input, stats, memo)?;
-                Arc::new(apply_pred(&b, pred)?)
+                // sorted numeric tails binary-search in O(log n); scanning
+                // them in parallel fragments would only be slower
+                let scan_bound = b.props().tail_sorted && !matches!(b.tail(), Column::Str(_));
+                let d = self.frag_degree(b.count());
+                if d > 1 && !scan_bound {
+                    frag = d;
+                    Arc::new(crate::fragment::par_select(&b, pred, d)?)
+                } else {
+                    Arc::new(apply_pred(&b, pred)?)
+                }
             }
             Plan::Join { left, right } => {
                 let l = self.eval(left, stats, memo)?;
                 let r = self.eval(right, stats, memo)?;
-                Arc::new(l.join(&r)?)
+                let d = self.frag_degree(l.count());
+                if d > 1 {
+                    frag = d;
+                    Arc::new(crate::fragment::par_join(&l, &r, d)?)
+                } else {
+                    Arc::new(l.join(&r)?)
+                }
             }
             Plan::Semijoin { left, right } => {
                 let l = self.eval(left, stats, memo)?;
@@ -521,18 +599,34 @@ impl<'a> Executor<'a> {
             Plan::Reverse(p) => Arc::new(self.eval(p, stats, memo)?.reverse()),
             Plan::Mirror(p) => Arc::new(self.eval(p, stats, memo)?.mirror()),
             Plan::Mark { input, base } => Arc::new(self.eval(input, stats, memo)?.mark(*base)),
+            // project (like mark) stays serial: a constant fill is pure
+            // memory bandwidth, so fragmenting it only adds merge copies —
+            // fragment::par_project exists for explicitly fragmented
+            // pipelines, not for this interpreter
             Plan::ProjectConst { input, val } => {
                 Arc::new(self.eval(input, stats, memo)?.project(val)?)
             }
             Plan::Aggr { input, agg } => {
                 let b = self.eval(input, stats, memo)?;
-                let v = b.agg_tail(*agg)?;
+                let d = self.frag_degree(b.count());
+                let v = if d > 1 && *agg != Agg::Count {
+                    frag = d;
+                    crate::fragment::par_agg_tail(&b, *agg, d)?
+                } else {
+                    b.agg_tail(*agg)?
+                };
                 Arc::new(Bat::dense(Column::from_vals(&[v])?))
             }
             Plan::GroupedAggr { values, groups, agg } => {
                 let v = self.eval(values, stats, memo)?;
                 let g = self.eval(groups, stats, memo)?;
-                Arc::new(v.grouped_agg(&g, *agg)?)
+                let d = self.frag_degree(v.count());
+                if d > 1 && matches!(agg, Agg::Sum | Agg::Count) {
+                    frag = d;
+                    Arc::new(crate::fragment::par_grouped_agg(&v, &g, *agg, d)?)
+                } else {
+                    Arc::new(v.grouped_agg(&g, *agg)?)
+                }
             }
             Plan::SortTail { input, desc } => {
                 Arc::new(self.eval(input, stats, memo)?.sort_tail(*desc))
@@ -575,6 +669,10 @@ impl<'a> Executor<'a> {
         stats.ops_evaluated += 1;
         stats.rows_produced += out.count() as u64;
         *stats.op_counts.entry(plan.op_name()).or_insert(0) += 1;
+        if frag > 1 {
+            stats.fragmented_ops += 1;
+        }
+        stats.node_trace.insert(fp, NodeTrace { rows: out.count() as u64, degree: frag });
         if self.memoize {
             memo.insert(fp, Arc::clone(&out));
         }
@@ -582,7 +680,7 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn apply_pred(b: &Bat, pred: &Pred) -> Result<Bat> {
+pub(crate) fn apply_pred(b: &Bat, pred: &Pred) -> Result<Bat> {
     match pred {
         Pred::Eq(v) => b.select_eq(v),
         Pred::Range { lo, lo_incl, hi, hi_incl } => {

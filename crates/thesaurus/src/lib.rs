@@ -12,6 +12,8 @@
 //! measure, with a chi-square alternative for the ablation), and expands a
 //! text query into a weighted visual-term query.
 
+#![warn(missing_docs)]
+
 use std::collections::{HashMap, HashSet};
 
 /// Association scoring measure.

@@ -43,6 +43,8 @@
 //! assert_eq!(out.len(), 12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use mirror_core as core;
 
 pub use cluster;

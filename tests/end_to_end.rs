@@ -171,6 +171,72 @@ fn average_precision_of_theme_queries_is_reasonable() {
 }
 
 #[test]
+fn parallel_facade_matches_serial_retrieval() {
+    // the parallelism knob routes from MirrorConfig through the Moa engine
+    // into the kernel executor; results must not depend on the degree
+    let corpus = corpus();
+    let mut serial_db = MirrorDbms::new(MirrorConfig { parallelism: 1, ..Default::default() });
+    serial_db.ingest(corpus).unwrap();
+    let mut par_db = MirrorDbms::new(MirrorConfig { parallelism: 7, ..Default::default() });
+    par_db.ingest(corpus).unwrap();
+    for q in ["sunset glow", "ocean wave surf"] {
+        let a = serial_db.query_text(q, 20).unwrap();
+        let b = par_db.query_text(q, 20).unwrap();
+        assert_eq!(a.len(), b.len(), "{q}");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.oid, y.oid, "{q}");
+            assert!((x.score - y.score).abs() < 1e-12, "{q}: {} vs {}", x.score, y.score);
+        }
+    }
+}
+
+#[test]
+fn executor_explain_reports_fragmentation_per_operator() {
+    use mirror::monet::{
+        bat::bat_of_ints, Agg, Catalog, OpRegistry, ParallelExecutor, Plan, Pred, Val,
+    };
+    let cat = Catalog::new();
+    cat.register("sizes", bat_of_ints((0..10_000).map(|i| i % 500).collect()));
+    let reg = OpRegistry::new();
+    let plan = Plan::Aggr {
+        input: Box::new(Plan::Select {
+            input: Box::new(Plan::load("sizes")),
+            pred: Pred::Range { lo: Some(Val::Int(100)), lo_incl: true, hi: None, hi_incl: true },
+        }),
+        agg: Agg::Sum,
+    };
+
+    // parallel executor: the scan-bound operators report their degree
+    let par = ParallelExecutor::new(&cat, &reg, 4);
+    let text = par.explain(&plan).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "-- degree 4 · 2 of 3 ops fragmented --");
+    assert!(
+        lines[1].starts_with("aggr[sum]") && lines[1].ends_with("[rows=1, fragmented ×4]"),
+        "aggr line: {:?}",
+        lines[1]
+    );
+    assert!(
+        lines[2].trim_start().starts_with("select[") && lines[2].ends_with("fragmented ×4]"),
+        "select line: {:?}",
+        lines[2]
+    );
+    assert!(
+        lines[3].trim_start() == "load(sizes)  [rows=10000, serial]",
+        "load line: {:?}",
+        lines[3]
+    );
+
+    // serial executor over the same plan: every operator reports serial
+    let serial = ParallelExecutor::new(&cat, &reg, 1);
+    let text = serial.explain(&plan).unwrap();
+    assert!(text.starts_with("-- degree 1 · 0 of 3 ops fragmented --"), "{text}");
+    assert!(!text.contains("fragmented ×"), "{text}");
+    // and both executions agree on the result
+    assert_eq!(par.run_bat(&plan).unwrap().to_pairs(), serial.run_bat(&plan).unwrap().to_pairs());
+}
+
+#[test]
 fn catalog_is_fully_binary_relational() {
     // every registered object in the physical layer is a two-column BAT —
     // the paper's core physical claim

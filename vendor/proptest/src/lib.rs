@@ -91,7 +91,7 @@ pub mod strategy {
 }
 
 pub mod collection {
-    //! Collection strategies: [`vec`] and [`hash_set`].
+    //! Collection strategies: [`vec()`] and [`hash_set()`].
 
     use crate::strategy::Strategy;
     use rand::rngs::StdRng;
