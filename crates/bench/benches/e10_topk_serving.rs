@@ -1,0 +1,91 @@
+//! E10 — fused top-k retrieval and the concurrent serving layer
+//! (ROADMAP: "heavy traffic from millions of users").
+//!
+//! Two workloads:
+//!
+//! * `fused_vs_fullsort`: the paper's ranking query over a 10k-document
+//!   corpus, as the facade used to run it (materialise every belief, sort,
+//!   truncate) versus the fused streaming `topk_bl` operator at
+//!   k ∈ {10, 100}. The fused path must win — it touches k-sized state
+//!   instead of corpus-sized state and prunes documents whose belief upper
+//!   bound cannot reach the heap.
+//! * `serving`: a `MirrorServer` worker pool over a shared snapshot,
+//!   drained by 1/4/8 concurrent clients issuing typed text requests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::{bench_query_terms, engine, ingested_db, text_env, RANKING_QUERY};
+use mirror_core::serve::{MirrorServer, RetrievalRequest};
+use mirror_core::Clustering;
+use moa::QueryParams;
+use std::sync::Arc;
+
+const DOCS: usize = 10_000;
+const REQUESTS: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let env = text_env(DOCS, 42);
+    let eng = engine(&env);
+    let materialise = QueryParams::new().bind("benchquery", bench_query_terms());
+
+    let mut group = c.benchmark_group("e10_topk");
+    group.sample_size(10);
+    for &k in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("full_sort_10k", k), &k, |b, &k| {
+            b.iter(|| {
+                // the pre-fusion facade: materialise every belief, then rank
+                let out = eng.query_with(RANKING_QUERY, &materialise).unwrap();
+                let mut pairs: Vec<(u32, f64)> = out
+                    .pairs()
+                    .unwrap()
+                    .iter()
+                    .filter_map(|(o, v)| v.as_float().map(|f| (*o, f)))
+                    .filter(|(_, s)| *s > 0.0)
+                    .collect();
+                pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                pairs.truncate(k);
+                pairs
+            })
+        });
+        let fused = materialise.clone().with_top_k(k);
+        group.bench_with_input(BenchmarkId::new("fused_topk_10k", k), &k, |b, _| {
+            b.iter(|| eng.query_with(RANKING_QUERY, &fused).unwrap())
+        });
+    }
+    group.finish();
+
+    let db = Arc::new(ingested_db(64, 42, Clustering::AutoClass));
+    let mut group = c.benchmark_group("e10_serving");
+    group.sample_size(10);
+    for &clients in &[1usize, 4, 8] {
+        let server = MirrorServer::start(Arc::clone(&db), clients);
+        group.bench_with_input(
+            BenchmarkId::new("text_requests_64", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let server = &server;
+                        let handles: Vec<_> = (0..clients)
+                            .map(|_| {
+                                scope.spawn(move || {
+                                    for _ in 0..REQUESTS / clients {
+                                        server
+                                            .query(&RetrievalRequest::text("sunset glow", 10))
+                                            .unwrap();
+                                    }
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().unwrap();
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ fn main() {
     e7();
     e8();
     e9();
+    e10();
     println!("\nreport complete.");
 }
 
@@ -292,5 +293,82 @@ fn e9() {
         serial.run_bat(&select).unwrap().count(),
         "fragmented select diverged from serial"
     );
+    println!();
+}
+
+/// E10: fused top-k retrieval and the concurrent serving layer.
+fn e10() {
+    use mirror_core::serve::{MirrorServer, RetrievalRequest};
+    println!("## E10 — fused top-k serving\n");
+
+    // (a) fused topk_bl vs materialise-then-sort on a 10k-doc corpus
+    let env = text_env(10_000, 42);
+    let eng = engine(&env);
+    let materialise = moa::QueryParams::new().bind("benchquery", bench_query_terms());
+    println!("| k | full-sort (ms) | fused top-k (ms) | speedup | operator note |");
+    println!("|--:|---------------:|-----------------:|--------:|---------------|");
+    for k in [10usize, 100] {
+        let fused_params = materialise.clone().with_top_k(k);
+        let t_full = median_time_ms(7, || {
+            let out = eng.query_with(RANKING_QUERY, &materialise).unwrap();
+            let mut pairs: Vec<(u32, f64)> = out
+                .pairs()
+                .unwrap()
+                .iter()
+                .filter_map(|(o, v)| v.as_float().map(|f| (*o, f)))
+                .filter(|(_, s)| *s > 0.0)
+                .collect();
+            pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            pairs.truncate(k);
+        });
+        let t_fused = median_time_ms(7, || {
+            eng.query_with(RANKING_QUERY, &fused_params).unwrap();
+        });
+        let expr = moa::parse_expr(RANKING_QUERY).unwrap();
+        let (_, stats) = eng.query_expr_params(&expr, &fused_params).unwrap();
+        let note = stats
+            .notes()
+            .into_iter()
+            .find(|n| n.starts_with("topk"))
+            .unwrap_or_else(|| "(not fused)".into());
+        println!(
+            "| {k} | {t_full:.2} | {t_fused:.2} | {:.1}× | {note} |",
+            t_full / t_fused.max(1e-6)
+        );
+    }
+
+    // (b) the serving layer under 1/4/8 concurrent clients
+    let db = std::sync::Arc::new(ingested_db(64, 42, Clustering::AutoClass));
+    let requests = 64usize;
+    println!(
+        "\n| clients (= workers) | {requests} text requests (ms) | req/s | mean latency (ms) |"
+    );
+    println!("|--------------------:|------------------------------:|------:|------------------:|");
+    for clients in [1usize, 4, 8] {
+        let server = MirrorServer::start(std::sync::Arc::clone(&db), clients);
+        let wall = median_time_ms(3, || {
+            std::thread::scope(|scope| {
+                let server = &server;
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            for _ in 0..requests / clients {
+                                server.query(&RetrievalRequest::text("sunset glow", 10)).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+        let stats = server.stats();
+        println!(
+            "| {clients} | {wall:.1} | {:.0} | {:.2} |",
+            requests as f64 * 1e3 / wall.max(1e-6),
+            stats.mean_latency_ms
+        );
+    }
     println!();
 }

@@ -1,7 +1,7 @@
 //! # mirror-bench — workloads and measurement helpers
 //!
 //! The demo paper contains no numeric tables, so EXPERIMENTS.md defines
-//! the quantitative claims to validate (E1–E8); this crate provides the
+//! the quantitative claims to validate (E1–E10); this crate provides the
 //! shared workload generators used by both the criterion benches
 //! (`benches/e*.rs`) and the `report` binary that regenerates the
 //! EXPERIMENTS.md tables.
@@ -58,12 +58,14 @@ pub fn text_env(n: usize, seed: u64) -> Arc<Env> {
 pub const RANKING_QUERY: &str =
     "map[sum(THIS)](map[getBL(THIS.annotation, benchquery, stats)](TraditionalImgLib))";
 
+/// The standard benchmark query terms.
+pub fn bench_query_terms() -> Vec<(String, f64)> {
+    vec![("sunset".into(), 1.0), ("ocean".into(), 1.0), ("glow".into(), 1.0)]
+}
+
 /// Bind the standard benchmark query terms.
 pub fn bind_bench_query(env: &Env) {
-    env.bind_query(
-        "benchquery",
-        vec![("sunset".into(), 1.0), ("ocean".into(), 1.0), ("glow".into(), 1.0)],
-    );
+    env.bind_query("benchquery", bench_query_terms());
 }
 
 /// An engine over a text environment with default optimisation.

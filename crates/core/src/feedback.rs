@@ -85,55 +85,20 @@ impl MirrorDbms {
         Ok(out)
     }
 
-    /// Run a dual-channel query state.
+    /// Run a dual-channel query state through the typed serving path (an
+    /// empty visual channel falls back to text-only ranking).
     pub fn run_feedback_query(
         &self,
         query: &FeedbackQuery,
         visual_mix: f64,
         k: usize,
     ) -> moa::Result<Vec<RankedResult>> {
-        if query.visual.is_empty() {
-            // text-only round: fall back to the single-channel query
-            let q = crate::query::fresh_query_name("t");
-            self.env().bind_query(&q, query.text.clone());
-            let out = self.moa_query(&format!(
-                "map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)](ImageLibraryInternal))",
-            ));
-            self.env().unbind_query(&q);
-            return self.ranked_public(out?, k);
-        }
-        let tq = crate::query::fresh_query_name("t");
-        let vq = crate::query::fresh_query_name("v");
-        self.env().bind_query(&tq, query.text.clone());
-        self.env().bind_query(&vq, query.visual.clone());
-        let tw = 1.0 - visual_mix;
-        let out = self.moa_query(&format!(
-            "map[sum(getBL(THIS.annotation, {tq}, stats)) * {tw}
-                 + sum(getBL(THIS.image, {vq}, stats)) * {visual_mix}](ImageLibraryInternal)"
-        ));
-        self.env().unbind_query(&tq);
-        self.env().unbind_query(&vq);
-        self.ranked_public(out?, k)
-    }
-
-    fn ranked_public(&self, out: moa::QueryOutput, k: usize) -> moa::Result<Vec<RankedResult>> {
-        let moa::QueryOutput::Pairs(pairs) = out else {
-            return Err(MoaError::Type("expected a belief column".into()));
-        };
-        let mut ranked: Vec<RankedResult> = pairs
-            .into_iter()
-            .filter_map(|(oid, v)| {
-                Some(RankedResult {
-                    oid,
-                    url: self.docs().get(oid as usize)?.url.clone(),
-                    score: v.as_float()?,
-                })
-            })
-            .filter(|r| r.score > 0.0)
-            .collect();
-        ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.oid.cmp(&b.oid)));
-        ranked.truncate(k);
-        Ok(ranked)
+        self.retrieve(&crate::serve::RetrievalRequest::dual_terms(
+            query.text.clone(),
+            query.visual.clone(),
+            visual_mix,
+            k,
+        ))
     }
 }
 

@@ -15,8 +15,12 @@
 //!   `ImageLibraryInternal` with `CONTREP<Text>` and `CONTREP<Image>`
 //!   attributes → mine the association thesaurus (dual coding);
 //! * the retrieval application ([`query`]): text, visual, dual-coded and
-//!   combined structure+content queries, all expressed as the paper's Moa
-//!   query strings;
+//!   combined structure+content queries — the paper's Moa query shapes,
+//!   built as typed request plans;
+//! * the concurrent serving layer ([`serve`]): typed
+//!   [`serve::RetrievalRequest`]s over an immutable snapshot, executed
+//!   directly or through the [`serve::MirrorServer`] worker pool, with the
+//!   ranking plan fused into a streaming top-k operator;
 //! * relevance feedback ([`feedback`]) and retrieval evaluation
 //!   ([`eval`]).
 
@@ -26,6 +30,7 @@ pub mod eval;
 pub mod feedback;
 pub mod ingest;
 pub mod query;
+pub mod serve;
 
 use cluster::VisualVocabulary;
 use ir::ContrepStore;

@@ -1,22 +1,16 @@
 //! The retrieval application: querying the digital image library.
 //!
-//! All retrieval runs through the paper's Moa queries against
-//! `ImageLibraryInternal`; the facade only tokenises input, binds query
-//! variables, and sorts the resulting belief column.
+//! Every facade query method is a thin wrapper over the typed serving path
+//! ([`crate::serve::RetrievalRequest`] → [`MirrorDbms::retrieve`]): the
+//! request compiles to a Moa AST with request-scoped bindings (no shared
+//! [`moa::Env`] mutation, no string splicing) and a top-k budget the engine
+//! fuses into the streaming `topk_bl` operator where the plan allows.
 
-use crate::{MirrorDbms, INTERNAL};
+use crate::serve::RetrievalRequest;
+use crate::MirrorDbms;
 use ir::text::tokenize_stemmed;
 use moa::{MoaError, QueryOutput};
 use monet::Oid;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Fresh per-request query-variable names, so concurrent queries never
-/// clobber each other's bindings in the shared environment.
-static QUERY_SEQ: AtomicU64 = AtomicU64::new(0);
-
-pub(crate) fn fresh_query_name(channel: &str) -> String {
-    format!("q{}_{channel}", QUERY_SEQ.fetch_add(1, Ordering::Relaxed))
-}
 
 /// One ranked retrieval result.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,14 +27,7 @@ impl MirrorDbms {
     /// Free-text retrieval over the annotation channel only — Section 3's
     /// `map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))`.
     pub fn query_text(&self, text: &str, k: usize) -> moa::Result<Vec<RankedResult>> {
-        let terms = weighted_terms(text);
-        let q = fresh_query_name("t");
-        self.env().bind_query(&q, terms);
-        let out = self
-            .engine()
-            .query(&format!("map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)]({INTERNAL}))"));
-        self.env().unbind_query(&q);
-        self.ranked(out?, k)
+        self.retrieve(&RetrievalRequest::text(text, k))
     }
 
     /// Visual retrieval: a weighted visual-term query against the image
@@ -51,13 +38,7 @@ impl MirrorDbms {
         visual_terms: &[(String, f64)],
         k: usize,
     ) -> moa::Result<Vec<RankedResult>> {
-        let q = fresh_query_name("v");
-        self.env().bind_query(&q, visual_terms.to_vec());
-        let out = self
-            .engine()
-            .query(&format!("map[sum(THIS)](map[getBL(THIS.image, {q}, stats)]({INTERNAL}))"));
-        self.env().unbind_query(&q);
-        self.ranked(out?, k)
+        self.retrieve(&RetrievalRequest::visual(visual_terms.to_vec(), k))
     }
 
     /// Dual-coded retrieval: the text query is expanded through the
@@ -72,46 +53,20 @@ impl MirrorDbms {
         visual_mix: f64,
         k: usize,
     ) -> moa::Result<Vec<RankedResult>> {
-        let th =
-            self.thesaurus().ok_or_else(|| MoaError::Unknown("thesaurus (ingest first)".into()))?;
-        let text_terms = weighted_terms(text);
-        let visual_terms =
-            th.expand(&text_terms, self.config().expand_per_term, self.config().expand_max_terms);
-        if visual_terms.is_empty() {
-            return self.query_text(text, k);
-        }
-        let tq = fresh_query_name("t");
-        let vq = fresh_query_name("v");
-        self.env().bind_query(&tq, text_terms);
-        self.env().bind_query(&vq, visual_terms);
-        let tw = 1.0 - visual_mix;
-        let out = self.engine().query(&format!(
-            "map[sum(getBL(THIS.annotation, {tq}, stats)) * {tw}
-                 + sum(getBL(THIS.image, {vq}, stats)) * {visual_mix}]({INTERNAL})"
-        ));
-        self.env().unbind_query(&tq);
-        self.env().unbind_query(&vq);
-        self.ranked(out?, k)
+        self.retrieve(&RetrievalRequest::dual(text, visual_mix, k))
     }
 
     /// Combined data/content retrieval: rank only the documents whose URL
     /// contains `url_filter` — a relational selection composed with
-    /// probabilistic ranking in one expression.
+    /// probabilistic ranking in one expression. The filter is a typed
+    /// literal: quotes and backslashes in it are data, not Moa syntax.
     pub fn query_text_filtered(
         &self,
         text: &str,
         url_filter: &str,
         k: usize,
     ) -> moa::Result<Vec<RankedResult>> {
-        let terms = weighted_terms(text);
-        let q = fresh_query_name("t");
-        self.env().bind_query(&q, terms);
-        let out = self.engine().query(&format!(
-            "map[sum(THIS)](map[getBL(THIS.annotation, {q}, stats)](
-               select[contains(THIS.source, \"{url_filter}\")]({INTERNAL})))"
-        ));
-        self.env().unbind_query(&q);
-        self.ranked(out?, k)
+        self.retrieve(&RetrievalRequest::text(text, k).with_filter(url_filter))
     }
 
     /// Run a raw Moa query string against the library.
@@ -119,7 +74,9 @@ impl MirrorDbms {
         self.engine().query(src)
     }
 
-    fn ranked(&self, out: QueryOutput, k: usize) -> moa::Result<Vec<RankedResult>> {
+    /// Turn a belief column into ranked results: drop zero scores, sort by
+    /// score (ties by oid), truncate to k, attach URLs.
+    pub(crate) fn ranked(&self, out: QueryOutput, k: usize) -> moa::Result<Vec<RankedResult>> {
         let pairs = match out {
             QueryOutput::Pairs(p) => p,
             other => return Err(MoaError::Type(format!("ranking query returned {other:?}"))),
@@ -147,6 +104,7 @@ pub fn weighted_terms(text: &str) -> Vec<(String, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::INTERNAL;
     use media::{RobotConfig, WebRobot};
 
     fn db() -> &'static MirrorDbms {
@@ -212,6 +170,17 @@ mod tests {
     }
 
     #[test]
+    fn filter_with_quotes_and_backslashes_is_inert() {
+        let db = db();
+        // regression: the old format!-spliced query let a quote in the
+        // filter terminate the string literal mid-expression
+        let results = db.query_text_filtered("sunset", "a\"b", 10).unwrap();
+        assert!(results.is_empty());
+        let results = db.query_text_filtered("sunset", "\\\"", 10).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
     fn unknown_terms_return_empty() {
         let db = db();
         let results = db.query_text("xylophone quantum", 5).unwrap();
@@ -223,6 +192,16 @@ mod tests {
         let db = db();
         let results = db.query_text("sunset", 3).unwrap();
         assert!(results.len() <= 3);
+    }
+
+    #[test]
+    fn topk_equals_full_ranking_prefix() {
+        let db = db();
+        let full = db.query_text("sunset glow evening", 40).unwrap();
+        for k in [1usize, 3, 10] {
+            let top = db.query_text("sunset glow evening", k).unwrap();
+            assert_eq!(top.as_slice(), &full[..k.min(full.len())], "k={k}");
+        }
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! The concurrent serving layer: typed retrieval requests over an
+//! immutable snapshot, executed by a worker pool.
+//!
+//! The paper's closing argument is that putting IR inside the DBMS lets
+//! set-at-a-time execution carry interactive retrieval at scale; the
+//! ROADMAP turns that into "heavy traffic from millions of users". This
+//! module is the request tier that makes the facade safe and fast under
+//! that traffic:
+//!
+//! * [`RetrievalRequest`] — a typed query plan (channel, weighted terms,
+//!   relational filter, top-k budget, channel mix) that replaces the old
+//!   `format!`-spliced Moa strings. Requests compile straight to the Moa
+//!   AST, so user input is always a *literal* (no string injection), and
+//!   their bindings travel as request-scoped [`moa::QueryParams`] — no
+//!   request ever writes to the shared [`moa::Env`];
+//! * [`MirrorDbms::retrieve`] — the one retrieval entry point every facade
+//!   query method now goes through. The top-k budget lets the engine fuse
+//!   the ranking plan into the streaming `topk_bl` operator
+//!   (`ir::topk`), which skips documents that provably cannot enter the
+//!   result;
+//! * [`MirrorServer`] — a worker pool over `Arc<MirrorDbms>` with
+//!   throughput/latency counters, for callers that want a concurrent
+//!   serving front end rather than direct calls.
+
+use crate::query::{weighted_terms, RankedResult};
+use crate::{MirrorDbms, INTERNAL};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use moa::expr::Lit;
+use moa::{Expr, MoaError, QueryParams};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Which evidence channels a request ranks with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// The annotation (text) channel only.
+    Text,
+    /// The image (visual-term) channel only.
+    Visual,
+    /// Dual coding: text evidence mixed with visual evidence.
+    Dual,
+}
+
+/// A typed retrieval request — the serving layer's query plan.
+///
+/// Build one with the constructors ([`RetrievalRequest::text`],
+/// [`RetrievalRequest::visual`], [`RetrievalRequest::dual`], …), refine it
+/// with [`with_filter`](RetrievalRequest::with_filter), and execute it with
+/// [`MirrorDbms::retrieve`] or through a [`MirrorServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalRequest {
+    /// Evidence channel(s) to rank with.
+    pub channel: Channel,
+    /// Weighted query terms (text terms, or visual terms for
+    /// [`Channel::Visual`]).
+    pub terms: Vec<(String, f64)>,
+    /// Explicit visual-channel terms for [`Channel::Dual`]; `None` expands
+    /// `terms` through the association thesaurus (dual coding).
+    pub visual_terms: Option<Vec<(String, f64)>>,
+    /// Relational filter: only rank documents whose URL contains this
+    /// substring. Applied as a typed literal — quotes and backslashes in
+    /// the pattern are data, never syntax.
+    pub filter: Option<String>,
+    /// How many results the caller wants (the top-k budget).
+    pub k: usize,
+    /// Weight of the visual channel in [`Channel::Dual`] (`0.0..=1.0`).
+    pub mix: f64,
+}
+
+impl RetrievalRequest {
+    /// Free-text retrieval over the annotation channel.
+    pub fn text(text: &str, k: usize) -> Self {
+        Self::text_terms(weighted_terms(text), k)
+    }
+
+    /// Text-channel retrieval from pre-weighted terms.
+    pub fn text_terms(terms: Vec<(String, f64)>, k: usize) -> Self {
+        RetrievalRequest {
+            channel: Channel::Text,
+            terms,
+            visual_terms: None,
+            filter: None,
+            k,
+            mix: 0.0,
+        }
+    }
+
+    /// Visual retrieval from weighted visual terms.
+    pub fn visual(terms: Vec<(String, f64)>, k: usize) -> Self {
+        RetrievalRequest {
+            channel: Channel::Visual,
+            terms,
+            visual_terms: None,
+            filter: None,
+            k,
+            mix: 1.0,
+        }
+    }
+
+    /// Dual-coded retrieval: text terms, with the visual channel expanded
+    /// through the thesaurus and mixed in with weight `mix`.
+    pub fn dual(text: &str, mix: f64, k: usize) -> Self {
+        RetrievalRequest {
+            channel: Channel::Dual,
+            terms: weighted_terms(text),
+            visual_terms: None,
+            filter: None,
+            k,
+            mix,
+        }
+    }
+
+    /// Dual-coded retrieval with explicit terms for both channels (the
+    /// relevance-feedback path). An empty visual channel falls back to
+    /// text-only ranking.
+    pub fn dual_terms(
+        text_terms: Vec<(String, f64)>,
+        visual_terms: Vec<(String, f64)>,
+        mix: f64,
+        k: usize,
+    ) -> Self {
+        RetrievalRequest {
+            channel: Channel::Dual,
+            terms: text_terms,
+            visual_terms: Some(visual_terms),
+            filter: None,
+            k,
+            mix,
+        }
+    }
+
+    /// Restrict ranking to documents whose URL contains `pattern`.
+    pub fn with_filter(mut self, pattern: impl Into<String>) -> Self {
+        self.filter = Some(pattern.into());
+        self
+    }
+}
+
+/// `sum(getBL(THIS.attr, binding, stats))`.
+fn sum_getbl(attr: &str, binding: &str) -> Expr {
+    Expr::call(
+        "sum",
+        vec![Expr::call(
+            "getBL",
+            vec![Expr::this_attr(attr), Expr::Ident(binding.into()), Expr::Ident("stats".into())],
+        )],
+    )
+}
+
+/// The paper's single-channel ranking shape:
+/// `map[sum(THIS)](map[getBL(THIS.attr, binding, stats)](input))` — the
+/// shape the engine fuses into the streaming `topk_bl` operator.
+fn ranking_expr(attr: &str, binding: &str, input: Expr) -> Expr {
+    let getbl = Expr::call(
+        "getBL",
+        vec![Expr::this_attr(attr), Expr::Ident(binding.into()), Expr::Ident("stats".into())],
+    );
+    Expr::map(Expr::call("sum", vec![Expr::This]), Expr::map(getbl, input))
+}
+
+impl MirrorDbms {
+    /// Execute a typed retrieval request — the single entry point behind
+    /// every facade query method. Compiles the request to a Moa AST with
+    /// request-scoped bindings (never mutating the shared environment) and
+    /// a top-k budget the engine fuses into the streaming top-k operator
+    /// where the plan shape allows.
+    pub fn retrieve(&self, req: &RetrievalRequest) -> moa::Result<Vec<RankedResult>> {
+        let (expr, params) = self.compile_request(req)?;
+        let (out, _) = self.engine().query_expr_params(&expr, &params)?;
+        self.ranked(out, req.k)
+    }
+
+    /// Compile a request into its Moa AST and request-scoped parameters.
+    fn compile_request(&self, req: &RetrievalRequest) -> moa::Result<(Expr, QueryParams)> {
+        let input = match &req.filter {
+            Some(pattern) => Expr::select(
+                Expr::call(
+                    "contains",
+                    vec![Expr::this_attr("source"), Expr::Lit(Lit::Str(pattern.clone()))],
+                ),
+                Expr::Ident(INTERNAL.into()),
+            ),
+            None => Expr::Ident(INTERNAL.into()),
+        };
+        let params = QueryParams::new().with_top_k(req.k);
+        match req.channel {
+            Channel::Text => Ok((
+                ranking_expr("annotation", "q_text", input),
+                params.bind("q_text", req.terms.clone()),
+            )),
+            Channel::Visual => {
+                Ok((ranking_expr("image", "q_vis", input), params.bind("q_vis", req.terms.clone())))
+            }
+            Channel::Dual => {
+                let visual = match &req.visual_terms {
+                    Some(v) => v.clone(),
+                    None => {
+                        let th = self
+                            .thesaurus()
+                            .ok_or_else(|| MoaError::Unknown("thesaurus (ingest first)".into()))?;
+                        th.expand(
+                            &req.terms,
+                            self.config().expand_per_term,
+                            self.config().expand_max_terms,
+                        )
+                    }
+                };
+                if visual.is_empty() {
+                    // no visual evidence: single-channel text ranking
+                    return Ok((
+                        ranking_expr("annotation", "q_text", input),
+                        params.bind("q_text", req.terms.clone()),
+                    ));
+                }
+                // sum(getBL(text)) * (1 - mix) + sum(getBL(image)) * mix,
+                // the same expression tree the Moa string used to parse to
+                let tw = 1.0 - req.mix;
+                let body = Expr::Arith {
+                    op: moa::expr::ArithKind::Add,
+                    left: Box::new(Expr::Arith {
+                        op: moa::expr::ArithKind::Mul,
+                        left: Box::new(sum_getbl("annotation", "q_text")),
+                        right: Box::new(Expr::Lit(Lit::Float(tw))),
+                    }),
+                    right: Box::new(Expr::Arith {
+                        op: moa::expr::ArithKind::Mul,
+                        left: Box::new(sum_getbl("image", "q_vis")),
+                        right: Box::new(Expr::Lit(Lit::Float(req.mix))),
+                    }),
+                };
+                Ok((
+                    Expr::map(body, input),
+                    params.bind("q_text", req.terms.clone()).bind("q_vis", visual),
+                ))
+            }
+        }
+    }
+}
+
+/// Cumulative serving counters (lock-free; shared with every worker).
+#[derive(Debug, Default)]
+struct ServeCounters {
+    served: AtomicU64,
+    errors: AtomicU64,
+    latency_ns: AtomicU64,
+    max_latency_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of a server's throughput and latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests completed (including errors).
+    pub served: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Mean request latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Worst request latency in milliseconds.
+    pub max_latency_ms: f64,
+    /// Completed requests per second since the server started.
+    pub throughput_per_sec: f64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// A pending response handed out by [`MirrorServer::submit`].
+pub struct PendingRetrieval {
+    rx: Receiver<moa::Result<Vec<RankedResult>>>,
+}
+
+impl PendingRetrieval {
+    /// Block until the worker pool finishes this request.
+    pub fn wait(self) -> moa::Result<Vec<RankedResult>> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(MoaError::Unknown("server shut down mid-request".into())))
+    }
+}
+
+struct ServerJob {
+    req: RetrievalRequest,
+    reply: Sender<moa::Result<Vec<RankedResult>>>,
+}
+
+/// A concurrent retrieval server: a fixed worker pool draining a request
+/// queue against one shared, immutable [`MirrorDbms`] snapshot.
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use mirror_core::{MirrorDbms, serve::{MirrorServer, RetrievalRequest}};
+/// # let db = MirrorDbms::with_defaults();
+/// let server = MirrorServer::start(Arc::new(db), 4);
+/// let hits = server.query(&RetrievalRequest::text("sunset beach", 10)).unwrap();
+/// println!("{} hits, {:?}", hits.len(), server.stats());
+/// ```
+pub struct MirrorServer {
+    db: Arc<MirrorDbms>,
+    tx: Option<Sender<ServerJob>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<ServeCounters>,
+    started: Instant,
+}
+
+impl MirrorServer {
+    /// Start a server with `workers` threads (0 = one per available core)
+    /// over a shared snapshot.
+    pub fn start(db: Arc<MirrorDbms>, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            workers
+        };
+        let (tx, rx) = unbounded::<ServerJob>();
+        let counters = Arc::new(ServeCounters::default());
+        let handles = (0..workers)
+            .map(|_| {
+                let rx: Receiver<ServerJob> = rx.clone();
+                let db = Arc::clone(&db);
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let t0 = Instant::now();
+                        let result = db.retrieve(&job.req);
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        counters.served.fetch_add(1, Ordering::Relaxed);
+                        counters.latency_ns.fetch_add(ns, Ordering::Relaxed);
+                        counters.max_latency_ns.fetch_max(ns, Ordering::Relaxed);
+                        if result.is_err() {
+                            counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = job.reply.send(result);
+                    }
+                })
+            })
+            .collect();
+        MirrorServer { db, tx: Some(tx), workers: handles, counters, started: Instant::now() }
+    }
+
+    /// The shared snapshot this server ranks against.
+    pub fn db(&self) -> &Arc<MirrorDbms> {
+        &self.db
+    }
+
+    /// Enqueue a request; returns a handle to wait on.
+    pub fn submit(&self, req: RetrievalRequest) -> PendingRetrieval {
+        let (reply, rx) = bounded(1);
+        let tx = self.tx.as_ref().expect("server is running until dropped");
+        if tx.send(ServerJob { req, reply }).is_err() {
+            // every worker is gone; `wait` will surface the shutdown error
+        }
+        PendingRetrieval { rx }
+    }
+
+    /// Execute a request, blocking until its results are ready.
+    pub fn query(&self, req: &RetrievalRequest) -> moa::Result<Vec<RankedResult>> {
+        self.submit(req.clone()).wait()
+    }
+
+    /// Throughput/latency counters since the server started.
+    pub fn stats(&self) -> ServerStats {
+        let served = self.counters.served.load(Ordering::Relaxed);
+        let latency_ns = self.counters.latency_ns.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        ServerStats {
+            served,
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            mean_latency_ms: if served == 0 {
+                0.0
+            } else {
+                latency_ns as f64 / served as f64 / 1e6
+            },
+            max_latency_ms: self.counters.max_latency_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            throughput_per_sec: if elapsed > 0.0 { served as f64 / elapsed } else { 0.0 },
+            workers: self.workers.len(),
+        }
+    }
+
+    /// Stop accepting requests, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // dropping the sender disconnects the queue; workers drain and exit
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MirrorServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media::{RobotConfig, WebRobot};
+
+    fn shared_db() -> Arc<MirrorDbms> {
+        static DB: std::sync::OnceLock<Arc<MirrorDbms>> = std::sync::OnceLock::new();
+        Arc::clone(DB.get_or_init(|| {
+            let mut db = MirrorDbms::with_defaults();
+            let corpus = WebRobot::new(RobotConfig {
+                n_images: 40,
+                image_size: 24,
+                unannotated_fraction: 0.25,
+                seed: 11,
+            })
+            .crawl();
+            db.ingest(&corpus).unwrap();
+            Arc::new(db)
+        }))
+    }
+
+    #[test]
+    fn typed_requests_match_the_facade_methods() {
+        let db = shared_db();
+        let a = db.retrieve(&RetrievalRequest::text("sunset glow evening", 10)).unwrap();
+        let b = db.query_text("sunset glow evening", 10).unwrap();
+        assert_eq!(a, b);
+        let c = db.retrieve(&RetrievalRequest::dual("sunset glow", 0.6, 20)).unwrap();
+        let d = db.query_dual("sunset glow", 0.6, 20).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn requests_never_bind_into_the_environment() {
+        let db = shared_db();
+        let before: usize =
+            ["q_text", "q_vis"].iter().filter(|n| db.env().query_binding(n).is_some()).count();
+        assert_eq!(before, 0);
+        db.retrieve(&RetrievalRequest::dual("sunset beach", 0.5, 10)).unwrap();
+        for n in ["q_text", "q_vis"] {
+            assert!(db.env().query_binding(n).is_none(), "{n} leaked into Env");
+        }
+    }
+
+    #[test]
+    fn filter_is_a_literal_not_syntax() {
+        let db = shared_db();
+        // quotes and backslashes in the pattern are data; the old
+        // format!-spliced query would have broken (or worse, widened) here
+        for hostile in ["a\"b", "\\", "\")](ImageLibraryInternal))", "100%\" or \""] {
+            let out =
+                db.retrieve(&RetrievalRequest::text("sunset", 10).with_filter(hostile)).unwrap();
+            assert!(out.is_empty(), "filter {hostile:?} matched {} docs", out.len());
+        }
+        // a benign filter still restricts
+        let filtered =
+            db.retrieve(&RetrievalRequest::text("sunset", 20).with_filter("/sunset/")).unwrap();
+        assert!(!filtered.is_empty());
+        assert!(filtered.iter().all(|r| r.url.contains("/sunset/")));
+    }
+
+    #[test]
+    fn server_serves_and_counts() {
+        let db = shared_db();
+        let server = MirrorServer::start(Arc::clone(&db), 3);
+        let baseline = db.query_text("sunset glow", 10).unwrap();
+        let pending: Vec<_> =
+            (0..12).map(|_| server.submit(RetrievalRequest::text("sunset glow", 10))).collect();
+        for p in pending {
+            assert_eq!(p.wait().unwrap(), baseline);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.served, 12);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.workers, 3);
+        assert!(stats.mean_latency_ms > 0.0);
+        assert!(stats.max_latency_ms >= stats.mean_latency_ms);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_surfaces_request_errors() {
+        // dual retrieval needs a thesaurus; an un-ingested instance errors
+        let server = MirrorServer::start(Arc::new(MirrorDbms::with_defaults()), 1);
+        assert!(server.query(&RetrievalRequest::dual("sunset", 0.5, 5)).is_err());
+        assert_eq!(server.stats().errors, 1);
+    }
+}

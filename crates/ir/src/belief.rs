@@ -64,6 +64,24 @@ impl BeliefParams {
         self.alpha + (1.0 - self.alpha) * self.ntf(tf, dl, avg_dl) * self.nidf(df, n_docs)
     }
 
+    /// Upper bound on the belief any single document can reach for a term
+    /// with the given `max_tf` (greatest within-document frequency) and
+    /// `df`. Sound because `ntf(tf, dl) = tf / (tf + k_tf + k_len·dl/avg)`
+    /// is monotone in tf and the length term only shrinks it:
+    /// `ntf ≤ max_tf / (max_tf + k_tf)`. Top-k evaluation uses this to
+    /// skip documents that provably cannot enter the result
+    /// ([`crate::topk`]).
+    #[inline]
+    pub fn belief_bound(&self, max_tf: u32, df: u32, n_docs: usize) -> f64 {
+        if max_tf == 0 {
+            return self.alpha;
+        }
+        let sat = max_tf as f64 / (max_tf as f64 + self.k_tf);
+        let lift = (1.0 - self.alpha) * sat * self.nidf(df, n_docs);
+        // a pathological α > 1 makes the lift negative; the bound is then α
+        self.alpha + lift.max(0.0)
+    }
+
     /// Belief in `term` given document `doc` of `index` — the
     /// tuple-at-a-time evaluation path.
     pub fn belief_in(&self, index: &InvertedIndex, term: &str, doc: Oid) -> f64 {
@@ -170,6 +188,22 @@ mod tests {
             assert!((b - p.belief_in(&i, "sunset", doc)).abs() < 1e-12);
         }
         assert!(p.belief_list(&i, "nothere").is_empty());
+    }
+
+    #[test]
+    fn belief_bound_dominates_every_document() {
+        let p = DEFAULT_BELIEF;
+        let i = idx();
+        let stats = i.stats();
+        for term in ["sunset", "beach", "forest", "mist", "waves", "horizon"] {
+            let bound = p.belief_bound(i.max_tf(term), i.df(term), stats.n_docs);
+            for doc in 0..stats.n_docs as u32 {
+                let b = p.belief_in(&i, term, doc);
+                assert!(b <= bound, "{term} doc {doc}: belief {b} above bound {bound}");
+            }
+        }
+        // absent terms bound to α
+        assert_eq!(p.belief_bound(0, 0, stats.n_docs), p.alpha);
     }
 
     #[test]

@@ -34,6 +34,13 @@ use std::sync::Arc;
 /// Name of the physical belief-list operator registered in the kernel.
 pub const GETBL_OP: &str = "contrep.getbl";
 
+/// Name of the fused top-k belief operator (`topk_bl`): `getBL` + grouped
+/// sum + rank collapsed into one streaming operator with threshold pruning
+/// ([`crate::topk`]). The name follows the kernel's fusion convention —
+/// `<op>.topk` — which the Moa rewriter uses to find a fused counterpart
+/// for a top-k budget ([`moa::rewrite_topk`]).
+pub const TOPK_BL_OP: &str = "contrep.getbl.topk";
+
 /// Shared store of built content representations, keyed by BAT prefix.
 ///
 /// The BATs in the catalog are the system of record (anything could be
@@ -144,6 +151,7 @@ impl Structure for Contrep {
         index.register_bats(catalog, prefix);
         self.store.insert(prefix, index);
         register_getbl_op(ops, Arc::clone(&self.store));
+        register_topk_bl_op(ops, Arc::clone(&self.store));
         Ok(())
     }
 
@@ -214,35 +222,51 @@ impl Structure for Contrep {
     }
 }
 
+/// A resolved index plus the decoded weighted query borrowed from the
+/// operator parameters.
+type DecodedBlCall<'a> = (Arc<InvertedIndex>, Vec<(&'a str, f64)>);
+
+/// Decode the `[prefix, (term, weight)*]` parameter layout shared by the
+/// belief operators, resolving the index through the store.
+fn decode_bl_params<'a>(
+    op: &'static str,
+    store: &ContrepStore,
+    params: &'a [Val],
+) -> monet::Result<DecodedBlCall<'a>> {
+    let prefix =
+        params.first().and_then(Val::as_str).ok_or_else(|| MonetError::BadOpInvocation {
+            op: op.into(),
+            msg: "first parameter must be the prefix".into(),
+        })?;
+    let index = store.get(prefix).ok_or_else(|| MonetError::BadOpInvocation {
+        op: op.into(),
+        msg: format!("no content representation at '{prefix}'"),
+    })?;
+    let mut query: Vec<(&str, f64)> = Vec::new();
+    let mut it = params[1..].iter();
+    while let (Some(t), Some(w)) = (it.next(), it.next()) {
+        let (Some(t), Some(w)) = (t.as_str(), w.as_float()) else {
+            return Err(MonetError::BadOpInvocation {
+                op: op.into(),
+                msg: "query parameters must alternate str/float".into(),
+            });
+        };
+        query.push((t, w));
+    }
+    Ok((index, query))
+}
+
+/// Decode an optional domain restriction from the first BAT input.
+fn decode_domain(inputs: &[Arc<Bat>]) -> Option<monet::fxhash::FxHashSet<Oid>> {
+    inputs.first().map(|bat| (0..bat.count()).filter_map(|i| bat.head().oid_at(i).ok()).collect())
+}
+
 /// Register (or refresh) the `contrep.getbl` operator in a kernel registry.
 fn register_getbl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
     ops.register(GETBL_OP, move |_ctx, inputs, params| {
-        let prefix =
-            params.first().and_then(Val::as_str).ok_or_else(|| MonetError::BadOpInvocation {
-                op: GETBL_OP.into(),
-                msg: "first parameter must be the prefix".into(),
-            })?;
-        let index = store.get(prefix).ok_or_else(|| MonetError::BadOpInvocation {
-            op: GETBL_OP.into(),
-            msg: format!("no content representation at '{prefix}'"),
-        })?;
+        let (index, query) = decode_bl_params(GETBL_OP, &store, params)?;
         let bel = store.params();
-        // decode (term, weight) pairs
-        let mut query: Vec<(&str, f64)> = Vec::new();
-        let mut it = params[1..].iter();
-        while let (Some(t), Some(w)) = (it.next(), it.next()) {
-            let (Some(t), Some(w)) = (t.as_str(), w.as_float()) else {
-                return Err(MonetError::BadOpInvocation {
-                    op: GETBL_OP.into(),
-                    msg: "query parameters must alternate str/float".into(),
-                });
-            };
-            query.push((t, w));
-        }
-        // optional domain restriction from the first BAT input
-        let domain: Option<monet::fxhash::FxHashSet<Oid>> = inputs
-            .first()
-            .map(|bat| (0..bat.count()).filter_map(|i| bat.head().oid_at(i).ok()).collect());
+        let domain = decode_domain(inputs);
         let total_w: f64 = query.iter().map(|(_, w)| w).sum();
         let mut docs: Vec<Oid> = Vec::new();
         let mut beliefs: Vec<f64> = Vec::new();
@@ -275,6 +299,34 @@ fn register_getbl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
             }
         }
         Bat::new(Column::Oid(docs), Column::Float(beliefs))
+    });
+}
+
+/// Register (or refresh) the fused `topk_bl` operator: parameters are the
+/// `getBL` layout with the budget appended (`[prefix, (term, weight)*, k]`,
+/// the kernel's `<op>.topk` fusion convention), and the output is the k
+/// best `[doc, belief-sum]` rows in rank order. Runs the streaming
+/// evaluation of [`crate::topk`] at the executor's parallel degree and
+/// reports pruning through the EXPLAIN note channel.
+fn register_topk_bl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
+    ops.register(TOPK_BL_OP, move |ctx, inputs, params| {
+        let k = params.last().and_then(Val::as_int).filter(|k| *k >= 0).ok_or_else(|| {
+            MonetError::BadOpInvocation {
+                op: TOPK_BL_OP.into(),
+                msg: "last parameter must be the non-negative top-k budget".into(),
+            }
+        })? as usize;
+        let (index, query) = decode_bl_params(TOPK_BL_OP, &store, &params[..params.len() - 1])?;
+        let domain = decode_domain(inputs);
+        // fragment the doc-id space only when it is large enough to pay
+        // for the scoped threads — the executor's threshold, like the
+        // built-in operators (so `min_fragment_rows` overrides apply here)
+        let degree = ctx.frag_degree(index.n_docs());
+        let out =
+            crate::topk::topk_beliefs(&index, store.params(), &query, domain.as_ref(), k, degree);
+        ctx.set_note(format!("topk ×{k} (pruned {} docs)", out.pruned));
+        let (docs, scores): (Vec<Oid>, Vec<f64>) = out.hits.into_iter().unzip();
+        Bat::new(Column::Oid(docs), Column::Float(scores))
     });
 }
 
@@ -448,6 +500,83 @@ mod tests {
         let engine = MoaEngine::new(Arc::clone(&env));
         let err = engine.query("map[getPL(THIS.annotation, query, stats)](TraditionalImgLib)");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn params_bindings_never_touch_the_env() {
+        let (env, _) = mirror_env();
+        let engine = MoaEngine::new(Arc::clone(&env));
+        let params =
+            moa::QueryParams::new().bind("rq", vec![("sunset".into(), 1.0), ("beach".into(), 1.0)]);
+        let out = engine
+            .query_with(
+                "map[sum(THIS)](map[getBL(THIS.annotation, rq, stats)](TraditionalImgLib))",
+                &params,
+            )
+            .unwrap();
+        assert_eq!(out.pairs().unwrap().len(), 5);
+        assert!(env.query_binding("rq").is_none(), "request binding leaked into Env");
+    }
+
+    #[test]
+    fn fused_topk_matches_materialise_then_sort() {
+        let (env, _) = mirror_env();
+        let engine = MoaEngine::new(Arc::clone(&env));
+        let q = "map[sum(THIS)](map[getBL(THIS.annotation, rq, stats)](TraditionalImgLib))";
+        let bindings =
+            moa::QueryParams::new().bind("rq", vec![("sunset".into(), 1.0), ("beach".into(), 1.0)]);
+        // baseline: materialise every belief, then sort + truncate
+        let full = engine.query_with(q, &bindings).unwrap();
+        let mut expected: Vec<(monet::Oid, f64)> = full
+            .pairs()
+            .unwrap()
+            .iter()
+            .filter_map(|(o, v)| v.as_float().map(|f| (*o, f)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        expected.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for k in [1usize, 2, 5] {
+            let fused = engine.query_with(q, &bindings.clone().with_top_k(k)).unwrap();
+            let got: Vec<(monet::Oid, f64)> =
+                fused.pairs().unwrap().iter().map(|(o, v)| (*o, v.as_float().unwrap())).collect();
+            let mut want = expected.clone();
+            want.truncate(k);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn fused_topk_shows_in_explain_and_stats() {
+        let (env, _) = mirror_env();
+        let engine = MoaEngine::new(Arc::clone(&env));
+        let q = "map[sum(THIS)](map[getBL(THIS.annotation, rq, stats)](TraditionalImgLib))";
+        let params = moa::QueryParams::new().bind("rq", vec![("sunset".into(), 1.0)]).with_top_k(2);
+        let text = engine.explain_with(q, &params).unwrap();
+        assert!(text.contains("custom[contrep.getbl.topk]"), "{text}");
+        assert!(!text.contains("grouped_aggr"), "fusion should collapse the grouped sum: {text}");
+        let expr = moa::parse_expr(q).unwrap();
+        let (_, stats) = engine.query_expr_params(&expr, &params).unwrap();
+        let notes = stats.notes();
+        assert!(
+            notes.iter().any(|n| n.starts_with("topk ×2 (pruned")),
+            "missing topk note: {notes:?}"
+        );
+    }
+
+    #[test]
+    fn fused_topk_respects_the_relational_domain() {
+        let (env, _) = mirror_env();
+        let engine = MoaEngine::new(Arc::clone(&env));
+        // only rank documents whose URL contains "2" (i.e. doc 2)
+        let q = "map[sum(THIS)](map[getBL(THIS.annotation, rq, stats)](
+                   select[contains(THIS.source, \"/2.\")](TraditionalImgLib)))";
+        let params = moa::QueryParams::new().bind("rq", vec![("sunset".into(), 1.0)]).with_top_k(5);
+        let out = engine.query_with(q, &params).unwrap();
+        let pairs = out.pairs().unwrap();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 2);
+        let text = engine.explain_with(q, &params).unwrap();
+        assert!(text.contains("custom[contrep.getbl.topk]"), "{text}");
     }
 
     #[test]

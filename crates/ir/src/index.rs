@@ -43,6 +43,9 @@ pub struct InvertedIndex {
     df: Vec<u32>,
     /// Collection frequency per term id.
     cf: Vec<u64>,
+    /// Greatest within-document frequency per term id — the raw statistic
+    /// behind the per-term belief upper bounds that top-k pruning uses.
+    max_tf: Vec<u32>,
     /// Token count per document.
     doc_len: Vec<u32>,
 }
@@ -72,6 +75,15 @@ impl InvertedIndex {
     /// Collection frequency of a term (0 when absent).
     pub fn cf(&self, term: &str) -> u64 {
         self.dict.lookup(term).map_or(0, |t| self.cf[t as usize])
+    }
+
+    /// Greatest term frequency of `term` within any single document
+    /// (0 when absent). Because the belief function is monotone in tf and
+    /// the length normalisation only shrinks it, `max_tf` yields a sound
+    /// per-term belief upper bound — see
+    /// [`crate::belief::BeliefParams::belief_bound`].
+    pub fn max_tf(&self, term: &str) -> u32 {
+        self.dict.lookup(term).map_or(0, |t| self.max_tf[t as usize])
     }
 
     /// Length (token count) of document `doc`.
@@ -189,11 +201,14 @@ impl IndexBuilder {
     /// Freeze into an immutable index.
     pub fn build(self) -> InvertedIndex {
         let df = self.postings.iter().map(|p| p.len() as u32).collect();
+        let max_tf =
+            self.postings.iter().map(|p| p.iter().map(|post| post.tf).max().unwrap_or(0)).collect();
         InvertedIndex {
             dict: self.dict,
             postings: self.postings,
             df,
             cf: self.cf,
+            max_tf,
             doc_len: self.doc_len,
         }
     }
@@ -230,6 +245,20 @@ mod tests {
         assert_eq!(idx.tf("forest", 1), 2);
         assert_eq!(idx.tf("forest", 0), 0);
         assert_eq!(idx.cf("forest"), 2);
+    }
+
+    #[test]
+    fn max_tf_tracks_the_densest_document() {
+        let idx = small_index();
+        assert_eq!(idx.max_tf("forest"), 2); // twice in doc 1
+        assert_eq!(idx.max_tf("sunset"), 1);
+        assert_eq!(idx.max_tf("nothere"), 0);
+        // max_tf dominates every per-document tf
+        for term in ["sunset", "beach", "forest", "mist"] {
+            for doc in 0..4 {
+                assert!(idx.tf(term, doc) <= idx.max_tf(term));
+            }
+        }
     }
 
     #[test]

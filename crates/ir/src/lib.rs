@@ -30,6 +30,7 @@ pub mod dict;
 pub mod index;
 pub mod net;
 pub mod text;
+pub mod topk;
 
 pub use belief::{BeliefParams, DEFAULT_BELIEF};
 pub use contrep::{register_contrep, Contrep, ContrepStore};
@@ -37,3 +38,4 @@ pub use dict::TermDict;
 pub use index::{CollectionStats, IndexBuilder, InvertedIndex};
 pub use net::{QueryNode, Ranker};
 pub use text::{is_stopword, porter_stem, tokenize, tokenize_stemmed};
+pub use topk::{topk_beliefs, TopKAccumulator, TopKOutcome};

@@ -1,0 +1,438 @@
+//! Streaming top-k belief evaluation with threshold pruning.
+//!
+//! The materialise-then-sort retrieval path computes a belief for *every*
+//! document, groups, sorts, and only then keeps the best k — a full pass of
+//! floating-point work for results that are mostly thrown away. This module
+//! is the score-at-a-time alternative the serving layer fuses into plans:
+//!
+//! * a [`TopKAccumulator`] — a bounded heap that keeps the k best
+//!   `(oid, score)` pairs (score descending, ties broken by ascending oid,
+//!   exactly like the facade's sort) and exposes the current admission
+//!   threshold;
+//! * [`topk_beliefs`] — a document-at-a-time merge over the query terms'
+//!   postings that scores each candidate **in the same floating-point
+//!   order as the materialise path** (so results are bit-identical) and
+//!   skips documents whose per-term belief upper bounds
+//!   ([`BeliefParams::belief_bound`]) prove they cannot enter the top k;
+//! * fragment-parallel accumulation: the document-id space splits into
+//!   [`monet::fragment::bounds`] spans, each span fills its own
+//!   accumulator on a scoped thread, and the per-fragment heaps merge at
+//!   the end. Per-document sums never cross a fragment boundary, so the
+//!   parallel result is bit-identical to serial at every degree.
+
+use crate::belief::BeliefParams;
+use crate::index::{InvertedIndex, Posting};
+use monet::fxhash::FxHashSet;
+use monet::Oid;
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Safety margin added to the pruning bound: the bound is sound in exact
+/// arithmetic, and the margin dwarfs the worst-case floating-point rounding
+/// of the few dozen operations behind each score.
+const PRUNE_MARGIN: f64 = 1e-9;
+
+/// A ranked entry; `Ord` is "better": greater score first, ties broken by
+/// the smaller oid (the facade's ranking order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    score: f64,
+    oid: Oid,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score.total_cmp(&other.score).then_with(|| other.oid.cmp(&self.oid))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded min-heap keeping the k best `(oid, score)` pairs seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct TopKAccumulator {
+    k: usize,
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl TopKAccumulator {
+    /// Create an accumulator with capacity `k`.
+    pub fn new(k: usize) -> Self {
+        TopKAccumulator { k, heap: BinaryHeap::with_capacity(k.min(1024) + 1) }
+    }
+
+    /// Number of entries currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when the accumulator holds k entries — from then on a candidate
+    /// must beat [`threshold`](Self::threshold) to enter.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The admission threshold: the k-th best score so far. `-∞` while the
+    /// accumulator is not yet full (everything is admitted), `+∞` for k = 0
+    /// (nothing ever is). A candidate with an upper bound strictly below
+    /// this value can be skipped without scoring.
+    pub fn threshold(&self) -> f64 {
+        if self.k == 0 {
+            return f64::INFINITY;
+        }
+        if self.heap.len() < self.k {
+            return f64::NEG_INFINITY;
+        }
+        self.heap.peek().map_or(f64::NEG_INFINITY, |Reverse(e)| e.score)
+    }
+
+    /// Offer a candidate; returns true if it entered the top k.
+    pub fn push(&mut self, oid: Oid, score: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let e = Entry { score, oid };
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(e));
+            return true;
+        }
+        match self.heap.peek() {
+            Some(Reverse(worst)) if e > *worst => {
+                self.heap.pop();
+                self.heap.push(Reverse(e));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fold another accumulator's entries in (the per-fragment merge).
+    pub fn merge(&mut self, other: TopKAccumulator) {
+        for Reverse(e) in other.heap {
+            self.push(e.oid, e.score);
+        }
+    }
+
+    /// Consume the accumulator, returning the entries in rank order
+    /// (score descending, ties by ascending oid).
+    pub fn into_ranked(self) -> Vec<(Oid, f64)> {
+        self.heap.into_sorted_vec().into_iter().map(|Reverse(e)| (e.oid, e.score)).collect()
+    }
+}
+
+/// What a [`topk_beliefs`] run did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKOutcome {
+    /// The k best `(oid, score)` pairs in rank order.
+    pub hits: Vec<(Oid, f64)>,
+    /// Candidate documents skipped because their belief upper bound could
+    /// not beat the running threshold.
+    pub pruned: u64,
+    /// Candidate documents fully scored.
+    pub scored: u64,
+}
+
+/// Per-query-term evaluation context, resolved once per request.
+struct TermCtx<'a> {
+    posts: &'a [Posting],
+    w: f64,
+    df: u32,
+    /// The term's greatest possible score contribution beyond the default
+    /// belief: `w · (belief_bound − α) / Σw`.
+    cbound: f64,
+}
+
+/// Evaluate the paper's `map[sum(THIS)](map[getBL(…)])` ranking for the k
+/// best documents only, skipping documents whose upper bound cannot beat
+/// the running threshold.
+///
+/// Scores are computed with the exact floating-point operation order of the
+/// materialise path (`contrep.getbl` rows summed per document in query-term
+/// order, then the default-belief row), so the `(oid, score)` pairs are
+/// bit-identical to materialise-then-sort — at every `degree`, because a
+/// document's sum never crosses a fragment boundary. Documents that match
+/// no query term are not emitted (their grouped sum is 0 and the facade
+/// drops zero scores).
+pub fn topk_beliefs(
+    index: &InvertedIndex,
+    params: BeliefParams,
+    query: &[(&str, f64)],
+    domain: Option<&FxHashSet<Oid>>,
+    k: usize,
+    degree: usize,
+) -> TopKOutcome {
+    let total_w: f64 = query.iter().map(|(_, w)| w).sum();
+    if total_w <= 0.0 || k == 0 {
+        return TopKOutcome { hits: Vec::new(), pruned: 0, scored: 0 };
+    }
+    let stats = index.stats();
+    let terms: Vec<TermCtx<'_>> = query
+        .iter()
+        .map(|(t, w)| {
+            let posts = index.postings(t).unwrap_or(&[]);
+            let df = index.df(t);
+            let bound = params.belief_bound(index.max_tf(t), df, stats.n_docs);
+            TermCtx { posts, w: *w, df, cbound: (w * (bound - params.alpha) / total_w).max(0.0) }
+        })
+        .collect();
+    let spans = monet::fragment::bounds(index.n_docs(), degree.max(1));
+    let run_span = |span: (usize, usize)| -> (TopKAccumulator, u64, u64) {
+        span_topk(index, params, stats, &terms, total_w, span, domain, k)
+    };
+    let parts: Vec<(TopKAccumulator, u64, u64)> = if spans.len() <= 1 {
+        spans.into_iter().map(run_span).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                spans.iter().map(|&span| scope.spawn(move || run_span(span))).collect();
+            handles.into_iter().map(|h| h.join().expect("top-k span worker panicked")).collect()
+        })
+    };
+    let mut acc = TopKAccumulator::new(k);
+    let mut pruned = 0;
+    let mut scored = 0;
+    for (part, part_pruned, part_scored) in parts {
+        acc.merge(part);
+        pruned += part_pruned;
+        scored += part_scored;
+    }
+    TopKOutcome { hits: acc.into_ranked(), pruned, scored }
+}
+
+/// Score-at-a-time accumulation over one document-id span `[lo, hi)`.
+#[allow(clippy::too_many_arguments)]
+fn span_topk(
+    index: &InvertedIndex,
+    params: BeliefParams,
+    stats: crate::index::CollectionStats,
+    terms: &[TermCtx<'_>],
+    total_w: f64,
+    (lo, hi): (usize, usize),
+    domain: Option<&FxHashSet<Oid>>,
+    k: usize,
+) -> (TopKAccumulator, u64, u64) {
+    let mut pos: Vec<usize> =
+        terms.iter().map(|t| t.posts.partition_point(|p| (p.doc as usize) < lo)).collect();
+    let ends: Vec<usize> =
+        terms.iter().map(|t| t.posts.partition_point(|p| (p.doc as usize) < hi)).collect();
+    let mut acc = TopKAccumulator::new(k);
+    let mut pruned = 0u64;
+    let mut scored = 0u64;
+    loop {
+        // the next document is the least doc id under any cursor
+        let mut doc = Oid::MAX;
+        for (i, t) in terms.iter().enumerate() {
+            if pos[i] < ends[i] {
+                doc = doc.min(t.posts[pos[i]].doc);
+            }
+        }
+        if doc == Oid::MAX {
+            break;
+        }
+        if domain.is_some_and(|d| !d.contains(&doc)) {
+            advance_past(terms, &mut pos, &ends, doc);
+            continue;
+        }
+        // upper bound: default belief plus every matching term's best case
+        let mut ub = params.alpha;
+        for (i, t) in terms.iter().enumerate() {
+            if pos[i] < ends[i] && t.posts[pos[i]].doc == doc {
+                ub += t.cbound;
+            }
+        }
+        if acc.is_full() && ub + PRUNE_MARGIN < acc.threshold() {
+            pruned += 1;
+            advance_past(terms, &mut pos, &ends, doc);
+            continue;
+        }
+        // exact score: matched terms in query order, then the default row —
+        // the same float-addition order as getbl rows under a grouped sum
+        let mut score = 0.0;
+        let mut mw = 0.0;
+        for (i, t) in terms.iter().enumerate() {
+            if pos[i] < ends[i] && t.posts[pos[i]].doc == doc {
+                let p = t.posts[pos[i]];
+                let b = params.belief(p.tf, t.df, index.doc_len(doc), stats.n_docs, stats.avg_dl);
+                score += t.w * b / total_w;
+                mw += t.w;
+                pos[i] += 1;
+            }
+        }
+        if mw < total_w {
+            score += params.alpha * (total_w - mw) / total_w;
+        }
+        scored += 1;
+        acc.push(doc, score);
+    }
+    (acc, pruned, scored)
+}
+
+/// Advance every cursor currently parked on `doc`.
+fn advance_past(terms: &[TermCtx<'_>], pos: &mut [usize], ends: &[usize], doc: Oid) {
+    for (i, t) in terms.iter().enumerate() {
+        if pos[i] < ends[i] && t.posts[pos[i]].doc == doc {
+            pos[i] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+
+    fn idx(n_docs: usize) -> InvertedIndex {
+        let pool = ["sunset", "beach", "forest", "mist", "wave", "city", "snow", "glow"];
+        let mut b = IndexBuilder::new();
+        for d in 0..n_docs {
+            let len = 2 + (d * 7) % 6;
+            let toks: Vec<&str> = (0..len).map(|j| pool[(d * 3 + j * 5) % pool.len()]).collect();
+            b.add_tokens(&toks);
+        }
+        b.build()
+    }
+
+    /// The materialise path: score every document exactly like
+    /// `contrep.getbl` rows under a grouped sum, then sort and truncate.
+    fn baseline(
+        index: &InvertedIndex,
+        params: BeliefParams,
+        query: &[(&str, f64)],
+        domain: Option<&FxHashSet<Oid>>,
+        k: usize,
+    ) -> Vec<(Oid, f64)> {
+        let total_w: f64 = query.iter().map(|(_, w)| w).sum();
+        let stats = index.stats();
+        let mut out = Vec::new();
+        for doc in 0..index.n_docs() as Oid {
+            if domain.is_some_and(|d| !d.contains(&doc)) {
+                continue;
+            }
+            let mut score = 0.0;
+            let mut mw = 0.0;
+            let mut any = false;
+            for (t, w) in query {
+                let tf = index.tf(t, doc);
+                if tf > 0 {
+                    let b = params.belief(
+                        tf,
+                        index.df(t),
+                        index.doc_len(doc),
+                        stats.n_docs,
+                        stats.avg_dl,
+                    );
+                    score += w * b / total_w;
+                    mw += w;
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            if mw < total_w {
+                score += params.alpha * (total_w - mw) / total_w;
+            }
+            out.push((doc, score));
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    #[test]
+    fn accumulator_keeps_best_k_with_oid_tiebreak() {
+        let mut acc = TopKAccumulator::new(3);
+        for (oid, s) in [(5, 0.5), (1, 0.9), (7, 0.5), (2, 0.1), (3, 0.5)] {
+            acc.push(oid, s);
+        }
+        // ties at 0.5: oids 3 and 5 beat 7
+        assert_eq!(acc.into_ranked(), vec![(1, 0.9), (3, 0.5), (5, 0.5)]);
+    }
+
+    #[test]
+    fn accumulator_threshold_and_merge() {
+        let mut a = TopKAccumulator::new(2);
+        assert_eq!(a.threshold(), f64::NEG_INFINITY);
+        a.push(0, 0.3);
+        a.push(1, 0.8);
+        assert!(a.is_full());
+        assert_eq!(a.threshold(), 0.3);
+        assert!(!a.push(2, 0.1));
+        let mut b = TopKAccumulator::new(2);
+        b.push(9, 0.6);
+        a.merge(b);
+        assert_eq!(a.into_ranked(), vec![(1, 0.8), (9, 0.6)]);
+        // k = 0 never admits
+        let mut z = TopKAccumulator::new(0);
+        assert!(!z.push(0, 1.0));
+        assert_eq!(z.threshold(), f64::INFINITY);
+        assert!(z.into_ranked().is_empty());
+    }
+
+    #[test]
+    fn topk_matches_materialise_then_sort() {
+        let index = idx(200);
+        let params = BeliefParams::default();
+        let query = [("sunset", 1.0), ("wave", 1.0), ("glow", 0.5)];
+        for k in [1usize, 3, 10, 200] {
+            let expected = baseline(&index, params, &query, None, k);
+            for degree in [1usize, 4] {
+                let got = topk_beliefs(&index, params, &query, None, k, degree);
+                assert_eq!(got.hits, expected, "k={k} degree={degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_prunes_on_larger_corpora() {
+        let index = idx(5000);
+        let params = BeliefParams::default();
+        let query = [("sunset", 1.0), ("mist", 1.0)];
+        let out = topk_beliefs(&index, params, &query, None, 5, 1);
+        assert_eq!(out.hits.len(), 5);
+        assert!(out.pruned > 0, "expected pruning on a 5k corpus: {out:?}");
+        assert_eq!(out.hits, baseline(&index, params, &query, None, 5));
+    }
+
+    #[test]
+    fn topk_respects_domain() {
+        let index = idx(100);
+        let params = BeliefParams::default();
+        let query = [("sunset", 1.0)];
+        let domain: FxHashSet<Oid> = (0..50).collect();
+        let out = topk_beliefs(&index, params, &query, Some(&domain), 10, 2);
+        assert!(!out.hits.is_empty());
+        assert!(out.hits.iter().all(|(oid, _)| *oid < 50));
+        assert_eq!(out.hits, baseline(&index, params, &query, Some(&domain), 10));
+    }
+
+    #[test]
+    fn topk_edge_cases() {
+        let index = idx(10);
+        let params = BeliefParams::default();
+        // unknown terms: nothing matches
+        let out = topk_beliefs(&index, params, &[("zzz", 1.0)], None, 5, 1);
+        assert!(out.hits.is_empty());
+        // zero total weight, zero k
+        assert!(topk_beliefs(&index, params, &[], None, 5, 1).hits.is_empty());
+        assert!(topk_beliefs(&index, params, &[("sunset", 1.0)], None, 0, 1).hits.is_empty());
+        // duplicate query terms accumulate like the materialise path
+        let dup = [("sunset", 1.0), ("sunset", 2.0)];
+        assert_eq!(
+            topk_beliefs(&index, params, &dup, None, 10, 1).hits,
+            baseline(&index, params, &dup, None, 10)
+        );
+    }
+}

@@ -155,6 +155,23 @@ impl Env {
         self.queries.write().remove(name);
     }
 
+    /// Bind a query variable for the lifetime of the returned guard: the
+    /// binding is removed when the guard drops, so an early return, `?`, or
+    /// panic between bind and use can no longer leak it into the shared
+    /// environment. Prefer request-scoped [`crate::QueryParams`] (which
+    /// never touch the environment at all); the guard exists for callers
+    /// that still need an environment binding (e.g. the naive interpreter).
+    #[must_use = "dropping the guard immediately unbinds the query"]
+    pub fn bind_query_scoped(
+        &self,
+        name: impl Into<String>,
+        terms: Vec<(String, f64)>,
+    ) -> QueryBindingGuard<'_> {
+        let name = name.into();
+        self.bind_query(name.clone(), terms);
+        QueryBindingGuard { env: self, name }
+    }
+
     /// Raw rows of a collection (only if `keep_raw` was set at load time).
     pub fn raw_rows(&self, coll: &str) -> Option<Arc<Vec<MoaVal>>> {
         self.raw.read().get(coll).cloned()
@@ -312,6 +329,26 @@ impl Default for Env {
     }
 }
 
+/// RAII guard for a query binding created by [`Env::bind_query_scoped`];
+/// unbinds on drop, including during unwinding.
+pub struct QueryBindingGuard<'e> {
+    env: &'e Env,
+    name: String,
+}
+
+impl QueryBindingGuard<'_> {
+    /// The bound variable name (splice into the query text).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for QueryBindingGuard<'_> {
+    fn drop(&mut self) {
+        self.env.unbind_query(&self.name);
+    }
+}
+
 /// Build a column of physical type `ty` from scalar values (handles the
 /// empty case, which `Column::from_vals` cannot type).
 pub(crate) fn typed_column(ty: MonetType, vals: Vec<Val>) -> Result<Column> {
@@ -438,6 +475,29 @@ mod tests {
         env.bind_query("query", vec![("sunset".into(), 1.0)]);
         assert_eq!(env.query_binding("query").unwrap()[0].0, "sunset");
         assert!(env.query_binding("other").is_none());
+    }
+
+    #[test]
+    fn scoped_binding_unbinds_on_drop() {
+        let env = Env::new();
+        {
+            let guard = env.bind_query_scoped("q0", vec![("sunset".into(), 1.0)]);
+            assert_eq!(guard.name(), "q0");
+            assert!(env.query_binding("q0").is_some());
+        }
+        assert!(env.query_binding("q0").is_none());
+    }
+
+    #[test]
+    fn scoped_binding_survives_panics() {
+        let env = Env::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = env.bind_query_scoped("qp", vec![("sunset".into(), 1.0)]);
+            assert!(env.query_binding("qp").is_some());
+            panic!("executor error mid-query");
+        }));
+        assert!(result.is_err());
+        assert!(env.query_binding("qp").is_none(), "panic leaked the binding");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::expr::Expr;
 use crate::flatten::{identity_plan, Compiler, Rep};
+use crate::params::QueryParams;
 use crate::parser::parse_expr;
-use crate::rewrite::{rewrite_logical, rewrite_physical, OptConfig};
+use crate::rewrite::{rewrite_logical, rewrite_physical, rewrite_topk, OptConfig};
 use crate::{Env, MoaError, Result};
 use monet::{ExecStats, Executor, Oid, Plan, Val};
 use std::sync::Arc;
@@ -81,6 +82,17 @@ impl MoaEngine {
         self.query_expr(&expr)
     }
 
+    /// Run a textual Moa query with request-scoped parameters: bindings are
+    /// resolved from `params` (falling back to the environment), and a
+    /// top-k budget fuses the plan into a streaming top-k operator when the
+    /// shape allows — returning only the k best rows with nonzero belief
+    /// mass (see [`QueryParams::with_top_k`]). Concurrent callers never
+    /// touch the shared `Env` maps.
+    pub fn query_with(&self, src: &str, params: &QueryParams) -> Result<QueryOutput> {
+        let expr = parse_expr(src)?;
+        Ok(self.query_expr_params(&expr, params)?.0)
+    }
+
     /// Run a query given as an AST.
     pub fn query_expr(&self, expr: &Expr) -> Result<QueryOutput> {
         Ok(self.query_with_stats(expr)?.0)
@@ -88,10 +100,17 @@ impl MoaEngine {
 
     /// Run a query and return execution statistics alongside the result.
     pub fn query_with_stats(&self, expr: &Expr) -> Result<(QueryOutput, ExecStats)> {
-        let rewritten = rewrite_logical(expr, &self.env, self.opt);
-        let rep = Compiler::new(&self.env).compile(&rewritten)?;
-        let plan = self.rep_plan(&rep);
-        let plan = rewrite_physical(&plan, self.opt);
+        self.query_expr_params(expr, &QueryParams::default())
+    }
+
+    /// Run an AST with request-scoped parameters, returning execution
+    /// statistics alongside the result — the serving layer's entry point.
+    pub fn query_expr_params(
+        &self,
+        expr: &Expr,
+        params: &QueryParams,
+    ) -> Result<(QueryOutput, ExecStats)> {
+        let (rep, plan) = self.compile_params(expr, params)?;
         let mut exec = Executor::new(self.env.catalog(), self.env.ops());
         exec.memoize = self.opt.memoize;
         exec.degree = monet::fragment::resolve_degree(self.opt.parallelism);
@@ -130,11 +149,37 @@ impl MoaEngine {
 
     /// EXPLAIN: the physical plan a query compiles to, after rewriting.
     pub fn explain(&self, src: &str) -> Result<String> {
+        self.explain_with(src, &QueryParams::default())
+    }
+
+    /// EXPLAIN with request-scoped parameters — shows the fused top-k plan
+    /// when a budget is set and the shape fuses.
+    pub fn explain_with(&self, src: &str, params: &QueryParams) -> Result<String> {
         let expr = parse_expr(src)?;
         let rewritten = rewrite_logical(&expr, &self.env, self.opt);
-        let rep = Compiler::new(&self.env).compile(&rewritten)?;
-        let plan = rewrite_physical(&self.rep_plan(&rep), self.opt);
+        let (_, plan) = self.compile_rewritten(&rewritten, params)?;
         Ok(format!("-- logical --\n{rewritten}\n-- physical --\n{}", plan.explain()))
+    }
+
+    /// Compile an AST to its final physical plan: logical rewrite, flatten
+    /// (with request bindings), physical rewrite, and — when a top-k budget
+    /// is set and the plan has the fusable ranking shape — top-k fusion.
+    fn compile_params(&self, expr: &Expr, params: &QueryParams) -> Result<(Rep, Plan)> {
+        let rewritten = rewrite_logical(expr, &self.env, self.opt);
+        self.compile_rewritten(&rewritten, params)
+    }
+
+    /// The post-logical-rewrite half of [`Self::compile_params`].
+    fn compile_rewritten(&self, rewritten: &Expr, params: &QueryParams) -> Result<(Rep, Plan)> {
+        let rep = Compiler::with_params(&self.env, params).compile(rewritten)?;
+        let plan = self.rep_plan(&rep);
+        let mut plan = rewrite_physical(&plan, self.opt);
+        if let (Some(k), Rep::Vals { multi: false, .. }) = (params.top_k(), &rep) {
+            if let Some(fused) = rewrite_topk(&plan, k, self.env.ops()) {
+                plan = fused;
+            }
+        }
+        Ok((rep, plan))
     }
 
     fn rep_plan(&self, rep: &Rep) -> Plan {

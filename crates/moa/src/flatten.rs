@@ -8,6 +8,7 @@
 //! paper's "efficient integration of IR and data retrieval".
 
 use crate::expr::{ArithKind, CmpOp, Expr, Lit};
+use crate::params::QueryParams;
 use crate::structure::CallArgs;
 use crate::types::{AtomicType, MoaType};
 use crate::{Env, MoaError, Result};
@@ -75,12 +76,20 @@ enum ThisBind<'a> {
 /// The flattening compiler.
 pub struct Compiler<'e> {
     env: &'e Env,
+    params: Option<&'e QueryParams>,
 }
 
 impl<'e> Compiler<'e> {
     /// Create a compiler over an environment.
     pub fn new(env: &'e Env) -> Self {
-        Compiler { env }
+        Compiler { env, params: None }
+    }
+
+    /// Create a compiler that resolves query bindings from request-scoped
+    /// [`QueryParams`] first, falling back to the environment — the
+    /// concurrent-serving path, which never touches the shared `Env` maps.
+    pub fn with_params(env: &'e Env, params: &'e QueryParams) -> Self {
+        Compiler { env, params: Some(params) }
     }
 
     /// Compile a top-level expression.
@@ -107,6 +116,9 @@ impl<'e> Compiler<'e> {
     }
 
     fn ident(&self, name: &str) -> Result<Rep> {
+        if let Some(terms) = self.params.and_then(|p| p.binding(name)) {
+            return Ok(Rep::Query(terms.to_vec()));
+        }
         if let Some(terms) = self.env.query_binding(name) {
             return Ok(Rep::Query(terms));
         }

@@ -32,18 +32,20 @@ pub mod exec;
 pub mod expr;
 pub mod flatten;
 pub mod naive;
+pub mod params;
 pub mod parser;
 pub mod rewrite;
 pub mod structure;
 pub mod types;
 pub mod value;
 
-pub use env::Env;
+pub use env::{Env, QueryBindingGuard};
 pub use exec::{MoaEngine, QueryOutput};
 pub use expr::{CmpOp, Expr};
 pub use flatten::Rep;
+pub use params::QueryParams;
 pub use parser::{parse_define, parse_expr, parse_type};
-pub use rewrite::OptConfig;
+pub use rewrite::{rewrite_topk, OptConfig};
 pub use structure::{CallArgs, StructRegistry, Structure};
 pub use types::{AtomicType, MoaType};
 pub use value::MoaVal;

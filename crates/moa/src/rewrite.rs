@@ -18,7 +18,7 @@
 
 use crate::expr::Expr;
 use crate::Env;
-use monet::{ArithOp, Plan};
+use monet::{Agg, ArithOp, OpRegistry, Plan, Val};
 
 /// Optimiser switches (all on by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +172,69 @@ fn peephole(plan: &Plan) -> Plan {
         }
         other => other,
     }
+}
+
+/// Fuse a top-k budget into the compiled ranking plan.
+///
+/// Recognises the physical shape the paper's
+/// `map[sum(THIS)](map[getBL(…)](C))` query compiles to — a grouped sum
+/// over a custom belief operator, optionally semijoined with the domain the
+/// operator is already restricted to — and rewrites it into the operator's
+/// fused top-k counterpart. The convention is the kernel's: an extension
+/// that registers `X` may also register `X.topk`, taking `X`'s parameters
+/// with the budget appended, and returning the k best `[oid, value]` rows
+/// in rank order (the IR crate registers `contrep.getbl.topk`, the
+/// `topk_bl` operator). Returns `None` — execute the original plan — when
+/// the shape does not match or no fused operator is registered.
+///
+/// The fused plan implements the *top-k budget* contract, not row-for-row
+/// plan equivalence: the grouped sum emits a `0.0` row for every document
+/// that matches no query term, while the fused operator omits those
+/// zero-mass rows entirely (a ranking drops them anyway) and keeps only
+/// the k best of the rest. The surviving `(oid, score)` pairs are
+/// bit-identical to materialise-then-sort.
+pub fn rewrite_topk(plan: &Plan, k: usize, ops: &OpRegistry) -> Option<Plan> {
+    // see through the domain semijoin the aggregate compiler adds; it is
+    // redundant iff the custom operator restricts itself to the same domain
+    let (inner, outer_domain) = match plan {
+        Plan::Semijoin { left, right } => (&**left, Some(&**right)),
+        p => (p, None),
+    };
+    let Plan::GroupedAggr { values, groups, agg: Agg::Sum } = inner else {
+        return None;
+    };
+    let Plan::Custom { op, inputs, params } = &**values else {
+        return None;
+    };
+    match (inputs.first(), outer_domain) {
+        // unrestricted ranking: groups must be the collection identity
+        (None, None) => match &**groups {
+            Plan::Load(name) if name.ends_with("__self") => {}
+            _ => return None,
+        },
+        // domain-restricted ranking: the operator input, the group mapping
+        // and the outer semijoin must all be that same domain
+        (Some(d), outer) => {
+            if groups.fingerprint() != d.fingerprint() {
+                return None;
+            }
+            if let Some(o) = outer {
+                if o.fingerprint() != d.fingerprint() {
+                    return None;
+                }
+            }
+        }
+        // a semijoin against a domain the operator does not know about
+        // cannot be folded into it
+        (None, Some(_)) => return None,
+    }
+    let fused = format!("{op}.topk");
+    if !ops.contains(&fused) {
+        return None;
+    }
+    let mut fused_params = params.clone();
+    fused_params.push(Val::Int(k as i64));
+    Some(Plan::Custom { op: fused, inputs: inputs.clone(), params: fused_params })
 }
 
 /// Rebuild a plan node with its children transformed.
@@ -329,6 +392,87 @@ mod tests {
         };
         let r = rewrite_physical(&p, OptConfig::default());
         assert_eq!(r.size(), 3); // semijoin(x, dom)
+    }
+
+    fn getbl_like(inputs: Vec<Plan>) -> Plan {
+        Plan::Custom {
+            op: "contrep.getbl".into(),
+            inputs,
+            params: vec![
+                Val::Str("Lib__annotation".into()),
+                Val::Str("sunset".into()),
+                Val::Float(1.0),
+            ],
+        }
+    }
+
+    fn registry_with_fused() -> OpRegistry {
+        let ops = OpRegistry::new();
+        ops.register("contrep.getbl.topk", |_ctx, _inputs, _params| {
+            Ok(monet::bat::bat_of_ints(vec![]))
+        });
+        ops
+    }
+
+    #[test]
+    fn topk_fuses_the_unrestricted_ranking_shape() {
+        let ops = registry_with_fused();
+        let plan = Plan::GroupedAggr {
+            values: Box::new(getbl_like(vec![])),
+            groups: Box::new(Plan::load("Lib__self")),
+            agg: Agg::Sum,
+        };
+        let fused = rewrite_topk(&plan, 10, &ops).unwrap();
+        let Plan::Custom { op, params, .. } = fused else { panic!("expected custom") };
+        assert_eq!(op, "contrep.getbl.topk");
+        assert_eq!(params.last(), Some(&Val::Int(10)));
+    }
+
+    #[test]
+    fn topk_fuses_the_domain_restricted_shape() {
+        let ops = registry_with_fused();
+        let domain = Plan::Mirror(Box::new(Plan::Select {
+            input: Box::new(Plan::load("Lib__source")),
+            pred: monet::Pred::StrContains("x".into()),
+        }));
+        let plan = Plan::Semijoin {
+            left: Box::new(Plan::GroupedAggr {
+                values: Box::new(getbl_like(vec![domain.clone()])),
+                groups: Box::new(domain.clone()),
+                agg: Agg::Sum,
+            }),
+            right: Box::new(domain),
+        };
+        assert!(rewrite_topk(&plan, 5, &ops).is_some());
+    }
+
+    #[test]
+    fn topk_refuses_unsafe_shapes() {
+        let ops = registry_with_fused();
+        // groups that are not the identity / operator domain
+        let plan = Plan::GroupedAggr {
+            values: Box::new(getbl_like(vec![])),
+            groups: Box::new(Plan::load("Other__map")),
+            agg: Agg::Sum,
+        };
+        assert!(rewrite_topk(&plan, 10, &ops).is_none());
+        // a late-filter semijoin the operator knows nothing about
+        let late = Plan::Semijoin {
+            left: Box::new(Plan::GroupedAggr {
+                values: Box::new(getbl_like(vec![])),
+                groups: Box::new(Plan::load("Lib__self")),
+                agg: Agg::Sum,
+            }),
+            right: Box::new(Plan::load("survivors")),
+        };
+        assert!(rewrite_topk(&late, 10, &ops).is_none());
+        // no fused operator registered
+        let plain = Plan::GroupedAggr {
+            values: Box::new(getbl_like(vec![])),
+            groups: Box::new(Plan::load("Lib__self")),
+            agg: Agg::Sum,
+        };
+        assert!(rewrite_topk(&plain, 10, &OpRegistry::new()).is_none());
     }
 
     #[test]

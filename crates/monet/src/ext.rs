@@ -11,14 +11,61 @@ use crate::catalog::Catalog;
 use crate::error::{MonetError, Result};
 use crate::fxhash::FxHashMap;
 use crate::value::Val;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// Execution context handed to custom operators: access to the catalog so
-/// operators can consult auxiliary BATs (statistics, dictionaries).
+/// operators can consult auxiliary BATs (statistics, dictionaries), the
+/// executor's fragment-parallel degree (so operators can parallelise their
+/// own work the same way the built-in operators do), and a note channel
+/// that surfaces operator-specific diagnostics in EXPLAIN output.
 pub struct OpCtx<'a> {
     /// The catalog of named BATs.
     pub catalog: &'a Catalog,
+    /// Fragment-parallel degree the executor runs at (1 = serial). Custom
+    /// operators may split their own work into that many spans.
+    pub degree: usize,
+    /// The executor's row threshold below which operators stay serial
+    /// ([`crate::Executor::min_fragment_rows`]); custom operators should
+    /// honour it like the built-in operators do.
+    pub min_fragment_rows: usize,
+    note: Mutex<Option<String>>,
+}
+
+impl<'a> OpCtx<'a> {
+    /// Create a context over a catalog with an explicit parallel degree
+    /// and the default serial-fallback threshold.
+    pub fn new(catalog: &'a Catalog, degree: usize) -> Self {
+        OpCtx {
+            catalog,
+            degree,
+            min_fragment_rows: crate::fragment::DEFAULT_MIN_FRAGMENT_ROWS,
+            note: Mutex::new(None),
+        }
+    }
+
+    /// The degree an operator over `rows` input rows should fragment at:
+    /// the configured degree when the input reaches the threshold, serial
+    /// otherwise — the same policy the built-in operators apply.
+    pub fn frag_degree(&self, rows: usize) -> usize {
+        if self.degree > 1 && rows >= self.min_fragment_rows.max(2) {
+            self.degree
+        } else {
+            1
+        }
+    }
+
+    /// Attach a diagnostic note to this invocation; the executor records it
+    /// in the node trace and [`crate::Executor::explain`] renders it next
+    /// to the operator (e.g. `topk ×10 (pruned 840 docs)`).
+    pub fn set_note(&self, note: impl Into<String>) {
+        *self.note.lock() = Some(note.into());
+    }
+
+    /// Take the note left by the operator, if any (used by the executor).
+    pub fn take_note(&self) -> Option<String> {
+        self.note.lock().take()
+    }
 }
 
 /// Signature of a custom physical operator: BAT inputs (already evaluated)
@@ -99,7 +146,7 @@ mod tests {
         });
         assert!(reg.contains("double"));
         let out = reg
-            .invoke("double", &OpCtx { catalog: &cat }, &[Arc::new(bat_of_ints(vec![1, 2]))], &[])
+            .invoke("double", &OpCtx::new(&cat, 1), &[Arc::new(bat_of_ints(vec![1, 2]))], &[])
             .unwrap();
         assert_eq!(out.tail().int_slice().unwrap(), &[2, 4]);
     }
@@ -108,7 +155,7 @@ mod tests {
     fn unknown_op_errors() {
         let reg = OpRegistry::new();
         let cat = Catalog::new();
-        let err = reg.invoke("nope", &OpCtx { catalog: &cat }, &[], &[]);
+        let err = reg.invoke("nope", &OpCtx::new(&cat, 1), &[], &[]);
         assert!(matches!(err, Err(MonetError::UnknownOp(_))));
     }
 
@@ -122,7 +169,7 @@ mod tests {
             let n = stats.tail().int_slice()?[0];
             Ok(bat_of_ints(vec![n * 3]))
         });
-        let out = reg.invoke("scaled", &OpCtx { catalog: &cat }, &[], &[]).unwrap();
+        let out = reg.invoke("scaled", &OpCtx::new(&cat, 1), &[], &[]).unwrap();
         assert_eq!(out.tail().int_slice().unwrap(), &[300]);
     }
 
@@ -137,7 +184,7 @@ mod tests {
             })?;
             Ok(bat_of_ints(vec![7; n as usize]))
         });
-        let out = reg.invoke("fill", &OpCtx { catalog: &cat }, &[], &[Val::Int(3)]).unwrap();
+        let out = reg.invoke("fill", &OpCtx::new(&cat, 1), &[], &[Val::Int(3)]).unwrap();
         assert_eq!(out.count(), 3);
     }
 }

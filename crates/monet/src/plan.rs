@@ -425,6 +425,9 @@ impl Plan {
                 } else {
                     let _ = write!(out, "  [rows={}, serial]", t.rows);
                 }
+                if let Some(note) = &t.note {
+                    let _ = write!(out, "  {note}");
+                }
             }
         }
         out.push('\n');
@@ -434,14 +437,18 @@ impl Plan {
     }
 }
 
-/// What one plan node did during execution: rows it produced and the
-/// fragmentation degree it ran at (1 = serial).
-#[derive(Debug, Clone, Copy)]
+/// What one plan node did during execution: rows it produced, the
+/// fragmentation degree it ran at (1 = serial), and any diagnostic note a
+/// custom operator attached via [`crate::OpCtx::set_note`].
+#[derive(Debug, Clone)]
 pub struct NodeTrace {
     /// Rows the operator produced.
     pub rows: u64,
     /// Fragmentation degree the operator actually used (1 = serial).
     pub degree: usize,
+    /// Operator-supplied note (custom operators only), rendered by
+    /// [`Executor::explain`] next to the row/fragmentation annotation.
+    pub note: Option<String>,
 }
 
 /// Counters collected during one plan execution.
@@ -467,6 +474,12 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Notes attached by custom operators during execution (e.g. the fused
+    /// top-k operator's `topk ×k (pruned N docs)`), in no particular order.
+    pub fn notes(&self) -> Vec<String> {
+        self.node_trace.values().filter_map(|t| t.note.clone()).collect()
+    }
+
     /// Short single-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -564,6 +577,8 @@ impl<'a> Executor<'a> {
         // Degree this node actually fragments at; set by the parallelisable
         // operator arms, recorded in the node trace below.
         let mut frag = 1usize;
+        // Diagnostic note a custom operator attached to this invocation.
+        let mut note: Option<String> = None;
         let out: Arc<Bat> = match plan {
             Plan::Load(name) => self.catalog.get(name)?,
             Plan::Const(b) => Arc::clone(b),
@@ -663,7 +678,11 @@ impl<'a> Executor<'a> {
                     ins.push(self.eval(i, stats, memo)?);
                 }
                 let f = self.registry.get(op)?;
-                Arc::new(f(&OpCtx { catalog: self.catalog }, &ins, params)?)
+                let mut ctx = OpCtx::new(self.catalog, self.degree);
+                ctx.min_fragment_rows = self.min_fragment_rows;
+                let out = Arc::new(f(&ctx, &ins, params)?);
+                note = ctx.take_note();
+                out
             }
         };
         stats.ops_evaluated += 1;
@@ -672,7 +691,7 @@ impl<'a> Executor<'a> {
         if frag > 1 {
             stats.fragmented_ops += 1;
         }
-        stats.node_trace.insert(fp, NodeTrace { rows: out.count() as u64, degree: frag });
+        stats.node_trace.insert(fp, NodeTrace { rows: out.count() as u64, degree: frag, note });
         if self.memoize {
             memo.insert(fp, Arc::clone(&out));
         }

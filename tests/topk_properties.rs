@@ -1,0 +1,154 @@
+//! Property tests for the fused streaming top-k retrieval path: for any
+//! corpus and query, `topk_bl` must return exactly the `(oid, score)`
+//! ranking that materialise-then-sort produces — same documents, same
+//! bit-identical scores, same tie-breaks — for k ∈ {1, 10, all} and at
+//! parallel degrees 1 and 4.
+
+use mirror::ir::{self, porter_stem, topk_beliefs, BeliefParams, IndexBuilder};
+use mirror::moa::{parse_define, Env, MoaEngine, MoaVal, OptConfig, QueryParams};
+use mirror::monet::Oid;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const POOL: &[&str] =
+    &["sunset", "beach", "forest", "mist", "wave", "glow", "stone", "river", "meadow", "dune"];
+
+/// A text library over CONTREP annotations built from pool-word indices.
+fn build_env(docs: &[Vec<usize>]) -> Arc<Env> {
+    let env = Env::new();
+    ir::register_contrep(&env);
+    let (name, ty) =
+        parse_define("define Lib as SET<TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation >>;")
+            .unwrap();
+    let rows: Vec<MoaVal> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, words)| {
+            let text: Vec<&str> = words.iter().map(|&w| POOL[w % POOL.len()]).collect();
+            MoaVal::Tuple(vec![MoaVal::Str(format!("http://lib/{i}")), MoaVal::Str(text.join(" "))])
+        })
+        .collect();
+    env.create_collection(name, ty, rows).unwrap();
+    Arc::new(env)
+}
+
+/// Stemmed, weighted query terms from pool indices.
+fn query_terms(q: &[(usize, f64)]) -> Vec<(String, f64)> {
+    q.iter().map(|(w, wt)| (porter_stem(POOL[w % POOL.len()]), *wt)).collect()
+}
+
+const RANKING: &str = "map[sum(THIS)](map[getBL(THIS.annotation, pq, stats)](Lib))";
+
+/// The materialise-then-sort baseline, computed at serial degree.
+fn baseline(env: &Arc<Env>, terms: &[(String, f64)], k: usize) -> Vec<(Oid, f64)> {
+    let eng =
+        MoaEngine::with_opt(Arc::clone(env), OptConfig { parallelism: 1, ..Default::default() });
+    let params = QueryParams::new().bind("pq", terms.to_vec());
+    let out = eng.query_with(RANKING, &params).unwrap();
+    let mut pairs: Vec<(Oid, f64)> = out
+        .pairs()
+        .unwrap()
+        .iter()
+        .filter_map(|(o, v)| v.as_float().map(|f| (*o, f)))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+/// The fused path at a given parallel degree.
+fn fused(env: &Arc<Env>, terms: &[(String, f64)], k: usize, degree: usize) -> Vec<(Oid, f64)> {
+    let eng = MoaEngine::with_opt(
+        Arc::clone(env),
+        OptConfig { parallelism: degree, ..Default::default() },
+    );
+    let params = QueryParams::new().bind("pq", terms.to_vec()).with_top_k(k);
+    let out = eng.query_with(RANKING, &params).unwrap();
+    out.pairs().unwrap().iter().map(|(o, v)| (*o, v.as_float().unwrap())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused top-k ≡ materialise+sort for k ∈ {1, 10, all}, degrees 1 and 4.
+    #[test]
+    fn prop_fused_topk_equals_materialise_then_sort(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..POOL.len(), 1..8), 1..60),
+        query in proptest::collection::vec((0usize..POOL.len(), 0.1f64..2.0), 1..4),
+    ) {
+        let env = build_env(&docs);
+        let terms = query_terms(&query);
+        for k in [1usize, 10, docs.len()] {
+            let expected = baseline(&env, &terms, k);
+            for degree in [1usize, 4] {
+                let got = fused(&env, &terms, k, degree);
+                prop_assert_eq!(&got, &expected, "k={} degree={}", k, degree);
+            }
+        }
+    }
+
+    /// The ir-level streaming evaluation is degree-invariant and its k-cut
+    /// is a prefix of the full ranking.
+    #[test]
+    fn prop_topk_beliefs_degree_invariant(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..POOL.len(), 0..10), 1..80),
+        query in proptest::collection::vec((0usize..POOL.len(), 0.25f64..2.0), 1..4),
+        k in 1usize..12,
+    ) {
+        let mut b = IndexBuilder::new();
+        for words in &docs {
+            let toks: Vec<&str> = words.iter().map(|&w| POOL[w % POOL.len()]).collect();
+            b.add_tokens(&toks);
+        }
+        let index = b.build();
+        let q: Vec<(String, f64)> =
+            query.iter().map(|(w, wt)| (POOL[w % POOL.len()].to_string(), *wt)).collect();
+        let qr: Vec<(&str, f64)> = q.iter().map(|(t, w)| (t.as_str(), *w)).collect();
+        let params = BeliefParams::default();
+        let full = topk_beliefs(&index, params, &qr, None, docs.len(), 1);
+        let serial = topk_beliefs(&index, params, &qr, None, k, 1);
+        let parallel = topk_beliefs(&index, params, &qr, None, k, 4);
+        prop_assert_eq!(&serial.hits, &parallel.hits);
+        let cut = k.min(full.hits.len());
+        prop_assert_eq!(&serial.hits[..], &full.hits[..cut]);
+    }
+}
+
+/// Engine-level parallel coverage: a corpus above the executor's
+/// `min_fragment_rows` threshold (4096) makes the fused operator actually
+/// fragment at degree 4 through the executor, and the result must still be
+/// bit-identical to the serial materialise+sort baseline.
+#[test]
+fn fused_parallel_on_large_corpus_matches_baseline() {
+    let docs: Vec<Vec<usize>> = (0..4500)
+        .map(|i| vec![i % 10, (i * 3 + 1) % 10, (i * 7 + 2) % 10, (i / 11) % 10])
+        .collect();
+    let env = build_env(&docs);
+    let terms = query_terms(&[(0, 1.0), (3, 1.0), (7, 0.5)]);
+    for k in [1usize, 10, docs.len()] {
+        let expected = baseline(&env, &terms, k);
+        assert!(!expected.is_empty());
+        for degree in [1usize, 4] {
+            assert_eq!(fused(&env, &terms, k, degree), expected, "k={k} degree={degree}");
+        }
+    }
+}
+
+/// Deterministic sanity: the fused plan really is fused (EXPLAIN shows the
+/// operator, not a grouped sum) and returns non-empty results.
+#[test]
+fn fusion_fires_and_finds_documents() {
+    let docs: Vec<Vec<usize>> = (0..50).map(|i| vec![i % 10, (i * 3) % 10, (i * 7) % 10]).collect();
+    let env = build_env(&docs);
+    let terms = query_terms(&[(0, 1.0), (4, 1.0)]);
+    let eng = MoaEngine::new(Arc::clone(&env));
+    let params = QueryParams::new().bind("pq", terms.clone()).with_top_k(5);
+    let plan = eng.explain_with(RANKING, &params).unwrap();
+    assert!(plan.contains("custom[contrep.getbl.topk]"), "{plan}");
+    let hits = fused(&env, &terms, 5, 1);
+    assert_eq!(hits.len(), 5);
+    assert_eq!(hits, baseline(&env, &terms, 5));
+}
