@@ -1,0 +1,65 @@
+//! E11 — sharded scatter-gather retrieval (ROADMAP: scale-out beyond one
+//! kernel instance).
+//!
+//! Two workloads over a 2k-document corpus (the report binary runs the
+//! full 10k-document version):
+//!
+//! * `query`: top-10 text retrieval against a single node and against
+//!   clusters of 1/2/4 shards. The 1-shard cluster must track the single
+//!   node closely — its only extra work is the router hop and the
+//!   local→global oid remap — and results are bit-identical everywhere
+//!   thanks to statistics-pinned shard projections.
+//! * `build`: cluster construction at 1/2/4 shards, which runs the ingest
+//!   pipeline once globally and then projects each shard from it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::{cluster_corpus, cluster_node_config};
+use mirror_core::serve::RetrievalRequest;
+use mirror_core::shard::{ClusterConfig, MirrorCluster};
+use mirror_core::{MirrorDbms, Retriever};
+
+const DOCS: usize = 2_000;
+
+fn bench(c: &mut Criterion) {
+    let corpus = cluster_corpus(DOCS, 42);
+    let node = cluster_node_config();
+    let req = RetrievalRequest::text("sunset glow evening", 10);
+
+    let mut single = MirrorDbms::new(node.clone());
+    single.ingest(&corpus).unwrap();
+    let want = single.retrieve(&req).unwrap();
+
+    let mut group = c.benchmark_group("e11_query");
+    group.sample_size(10);
+    group.bench_function("single_node", |b| b.iter(|| single.retrieve(&req).unwrap()));
+    for &shards in &[1usize, 2, 4] {
+        let cluster = MirrorCluster::build_with(
+            &corpus,
+            ClusterConfig { shards, replicas: 1, node: node.clone(), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(cluster.retrieve(&req).unwrap(), want, "cluster diverged at {shards} shards");
+        group.bench_with_input(BenchmarkId::new("cluster", shards), &shards, |b, _| {
+            b.iter(|| cluster.retrieve(&req).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e11_build");
+    group.sample_size(3);
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("build", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                MirrorCluster::build_with(
+                    &corpus,
+                    ClusterConfig { shards, replicas: 1, node: node.clone(), ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mirror_bench::ingested_db;
 use mirror_core::feedback::{FeedbackParams, FeedbackQuery};
-use mirror_core::Clustering;
+use mirror_core::{Clustering, Retriever};
 
 fn bench(c: &mut Criterion) {
     let db = ingested_db(60, 42, Clustering::AutoClass);

@@ -9,7 +9,7 @@ use media::{grid_segments, standard_extractors};
 use mirror_bench::*;
 use mirror_core::eval::{average_precision, mean, precision_at_k};
 use mirror_core::feedback::{FeedbackParams, FeedbackQuery};
-use mirror_core::{Clustering, MirrorConfig, MirrorDbms};
+use mirror_core::{Clustering, MirrorConfig, MirrorDbms, Retriever};
 use moa::naive::NaiveEngine;
 use moa::{MoaEngine, OptConfig};
 use std::sync::Arc;
@@ -26,6 +26,7 @@ fn main() {
     e8();
     e9();
     e10();
+    e11();
     println!("\nreport complete.");
 }
 
@@ -370,5 +371,86 @@ fn e10() {
             stats.mean_latency_ms
         );
     }
+    println!();
+}
+
+/// E11: sharded scatter-gather retrieval vs a single node.
+fn e11() {
+    use mirror_core::serve::{MirrorServer, RetrievalRequest};
+    use mirror_core::shard::{ClusterConfig, MirrorCluster};
+    println!("## E11 — sharded scatter-gather retrieval (10k-doc corpus)\n");
+    let corpus = cluster_corpus(10_000, 42);
+    let node = cluster_node_config();
+
+    // single-node baseline
+    let mut single = MirrorDbms::new(node.clone());
+    single.ingest(&corpus).unwrap();
+    let req = RetrievalRequest::text("sunset glow evening", 10);
+    let want = single.retrieve(&req).unwrap();
+    let t_single = median_time_ms(9, || {
+        single.retrieve(&req).unwrap();
+    });
+
+    println!("| backend | top-10 latency (ms) | vs single node | results bit-identical |");
+    println!("|---------|--------------------:|---------------:|----------------------:|");
+    println!("| single node | {t_single:.2} | 1.00× | — |");
+    let mut overhead_1shard = f64::NAN;
+    for shards in [1usize, 2, 4] {
+        let cluster = MirrorCluster::build_with(
+            &corpus,
+            ClusterConfig { shards, replicas: 1, node: node.clone(), ..Default::default() },
+        )
+        .unwrap();
+        let identical = cluster.retrieve(&req).unwrap() == want;
+        let t = median_time_ms(9, || {
+            cluster.retrieve(&req).unwrap();
+        });
+        if shards == 1 {
+            overhead_1shard = (t - t_single) / t_single.max(1e-9) * 100.0;
+        }
+        println!("| {shards} shard(s) | {t:.2} | {:.2}× | {identical} |", t_single / t.max(1e-6));
+    }
+    println!(
+        "\nmerge overhead at 1 shard: {overhead_1shard:.1}% \
+         (acceptance: < 10%)\n"
+    );
+
+    // replica routing under concurrent clients: p50/p99 make the
+    // spreading observable
+    let cluster = std::sync::Arc::new(
+        MirrorCluster::build_with(
+            &corpus,
+            ClusterConfig { shards: 2, replicas: 2, node, ..Default::default() },
+        )
+        .unwrap(),
+    );
+    let server = MirrorServer::start(cluster, 4);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        server.query(&RetrievalRequest::text("sunset glow evening", 10)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    let stats = server.stats();
+    println!("2 shards × 2 replicas under 4 clients (64 requests):\n");
+    println!("| served | errors | p50 (ms) | p99 (ms) | max (ms) |");
+    println!("|-------:|-------:|---------:|---------:|---------:|");
+    println!(
+        "| {} | {} | {:.2} | {:.2} | {:.2} |",
+        stats.served,
+        stats.errors,
+        stats.p50_latency_ms,
+        stats.p99_latency_ms,
+        stats.max_latency_ms
+    );
     println!();
 }

@@ -1,7 +1,7 @@
 //! # mirror-bench — workloads and measurement helpers
 //!
 //! The demo paper contains no numeric tables, so EXPERIMENTS.md defines
-//! the quantitative claims to validate (E1–E10); this crate provides the
+//! the quantitative claims to validate (E1–E11); this crate provides the
 //! shared workload generators used by both the criterion benches
 //! (`benches/e*.rs`) and the `report` binary that regenerates the
 //! EXPERIMENTS.md tables.
@@ -84,6 +84,21 @@ pub fn ingested_db(n: usize, seed: u64, clustering: Clustering) -> MirrorDbms {
     let mut db = MirrorDbms::new(MirrorConfig { clustering, ..Default::default() });
     db.ingest(&image_corpus(n, seed)).expect("ingest succeeds");
     db
+}
+
+/// A small-image corpus for the sharding experiments (E11): cheap enough
+/// to extract and cluster at four-digit document counts (the renderer
+/// needs at least 9×9 pixels to place its accent blobs).
+pub fn cluster_corpus(n: usize, seed: u64) -> Vec<CrawledImage> {
+    WebRobot::new(RobotConfig { n_images: n, image_size: 12, unannotated_fraction: 0.3, seed })
+        .crawl()
+}
+
+/// Node configuration for the sharding experiments: a coarse segmentation
+/// grid and fixed k-means keep the one-off global ingest pipeline fast at
+/// 10k documents; retrieval behaviour is unaffected.
+pub fn cluster_node_config() -> MirrorConfig {
+    MirrorConfig { grid: 2, clustering: Clustering::KMeans(4), ..Default::default() }
 }
 
 /// A kernel catalog holding the E9 scan workload: `scores`, `n` uniformly

@@ -8,6 +8,7 @@
 //! query with a dampened weight.
 
 use crate::query::{weighted_terms, RankedResult};
+use crate::retriever::{RetrievalResult, Retriever};
 use crate::MirrorDbms;
 use ir::InvertedIndex;
 use moa::MoaError;
@@ -56,7 +57,7 @@ impl MirrorDbms {
         params: FeedbackParams,
         visual_mix: f64,
         k: usize,
-    ) -> moa::Result<(Vec<RankedResult>, FeedbackQuery)> {
+    ) -> RetrievalResult<(Vec<RankedResult>, FeedbackQuery)> {
         let improved = self.expand_query(query, relevant, params)?;
         let results = self.run_feedback_query(&improved, visual_mix, k)?;
         Ok((results, improved))
@@ -68,7 +69,7 @@ impl MirrorDbms {
         query: &FeedbackQuery,
         relevant: &[Oid],
         params: FeedbackParams,
-    ) -> moa::Result<FeedbackQuery> {
+    ) -> RetrievalResult<FeedbackQuery> {
         let ann = self
             .store()
             .get("ImageLibraryInternal__annotation")
@@ -83,22 +84,6 @@ impl MirrorDbms {
         let visual_expansion = top_terms(&vis, relevant, params.expand, &out.visual);
         merge_terms(&mut out.visual, visual_expansion, params.beta);
         Ok(out)
-    }
-
-    /// Run a dual-channel query state through the typed serving path (an
-    /// empty visual channel falls back to text-only ranking).
-    pub fn run_feedback_query(
-        &self,
-        query: &FeedbackQuery,
-        visual_mix: f64,
-        k: usize,
-    ) -> moa::Result<Vec<RankedResult>> {
-        self.retrieve(&crate::serve::RetrievalRequest::dual_terms(
-            query.text.clone(),
-            query.visual.clone(),
-            visual_mix,
-            k,
-        ))
     }
 }
 

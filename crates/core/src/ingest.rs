@@ -26,7 +26,17 @@ use moa::{parse_define, MoaVal};
 use thesaurus::ThesaurusBuilder;
 
 /// One extracted feature: (document index, segment index, space, vector).
-type Extraction = (usize, usize, String, Vec<f64>);
+pub(crate) type Extraction = (usize, usize, String, Vec<f64>);
+
+/// Everything the shared ingest pipeline produces besides the collection
+/// itself — reused by [`crate::shard::MirrorCluster`], which runs the
+/// pipeline once globally and then loads each shard from it.
+pub(crate) struct IngestArtifacts {
+    pub(crate) vocab: VisualVocabulary,
+    pub(crate) thesaurus: thesaurus::AssociationThesaurus,
+    /// Per-document visual terms (one visual term per segment × space).
+    pub(crate) visual_docs: Vec<Vec<String>>,
+}
 
 impl MirrorDbms {
     /// Ingest a crawled corpus in-process.
@@ -77,7 +87,7 @@ impl MirrorDbms {
     }
 
     /// Inline segmentation + extraction (no daemons).
-    fn extract_inline(&self, corpus: &[CrawledImage]) -> Vec<Extraction> {
+    pub(crate) fn extract_inline(&self, corpus: &[CrawledImage]) -> Vec<Extraction> {
         let extractors = standard_extractors();
         let mut out = Vec::new();
         for (doc, c) in corpus.iter().enumerate() {
@@ -99,9 +109,24 @@ impl MirrorDbms {
         corpus: &[CrawledImage],
         extractions: Vec<Extraction>,
     ) -> moa::Result<()> {
+        let artifacts = self.cluster_and_tokenize(corpus, &extractions);
+        self.load_library(corpus, &artifacts.visual_docs)?;
+        self.set_ingest_outputs(artifacts.vocab, artifacts.thesaurus);
+        Ok(())
+    }
+
+    /// The corpus-global pipeline stages: cluster each feature space into
+    /// a visual vocabulary, emit one visual document per image, and mine
+    /// the association thesaurus over the annotated subset. No state is
+    /// written — the caller decides which node(s) load the results.
+    pub(crate) fn cluster_and_tokenize(
+        &self,
+        corpus: &[CrawledImage],
+        extractions: &[Extraction],
+    ) -> IngestArtifacts {
         // 1. cluster each feature space into a visual vocabulary
         let mut builder = VocabularyBuilder::new();
-        for (_, _, space, vector) in &extractions {
+        for (_, _, space, vector) in extractions {
             builder.add(space, vector.clone());
         }
         let vocab: VisualVocabulary = match self.config().clustering {
@@ -114,13 +139,34 @@ impl MirrorDbms {
 
         // 2. visual document per image: the terms of all its segments
         let mut visual_docs: Vec<Vec<String>> = vec![Vec::new(); corpus.len()];
-        for (doc, _, space, vector) in &extractions {
+        for (doc, _, space, vector) in extractions {
             if let Some(term) = vocab.term_of(space, vector) {
                 visual_docs[*doc].push(term);
             }
         }
 
-        // 3. the internal schema of Section 5.2
+        // 3. the association thesaurus over the *annotated* subset
+        let mut th = ThesaurusBuilder::new();
+        for (c, vterms) in corpus.iter().zip(&visual_docs) {
+            if let Some(ann) = &c.annotation {
+                let text_terms = tokenize_stemmed(ann);
+                th.add_document(&text_terms, vterms);
+            }
+        }
+        let thesaurus = th.build(self.config().assoc);
+        IngestArtifacts { vocab, thesaurus, visual_docs }
+    }
+
+    /// Load (or reload) `ImageLibraryInternal` on this node from a corpus
+    /// and its visual documents — the internal schema of Section 5.2. Also
+    /// records per-document metadata in oid order. For a shard this is
+    /// called with the shard's subset of the global corpus.
+    pub(crate) fn load_library(
+        &mut self,
+        corpus: &[CrawledImage],
+        visual_docs: &[Vec<String>],
+    ) -> moa::Result<()> {
+        debug_assert_eq!(corpus.len(), visual_docs.len());
         let (name, ty) = parse_define(
             "define ImageLibraryInternal as
                SET< TUPLE<
@@ -131,7 +177,7 @@ impl MirrorDbms {
         debug_assert_eq!(name, INTERNAL);
         let rows: Vec<MoaVal> = corpus
             .iter()
-            .zip(&visual_docs)
+            .zip(visual_docs)
             .map(|(c, vterms)| {
                 MoaVal::Tuple(vec![
                     MoaVal::Str(c.url.clone()),
@@ -141,17 +187,6 @@ impl MirrorDbms {
             })
             .collect();
         self.env().create_collection(name, ty, rows)?;
-
-        // 4. the association thesaurus over the *annotated* subset
-        let mut th = ThesaurusBuilder::new();
-        for (c, vterms) in corpus.iter().zip(&visual_docs) {
-            if let Some(ann) = &c.annotation {
-                let text_terms = tokenize_stemmed(ann);
-                th.add_document(&text_terms, vterms);
-            }
-        }
-        let thesaurus = th.build(self.config().assoc);
-
         self.docs = corpus
             .iter()
             .map(|c| DocMeta {
@@ -160,7 +195,6 @@ impl MirrorDbms {
                 theme: c.theme,
             })
             .collect();
-        self.set_ingest_outputs(vocab, thesaurus);
         Ok(())
     }
 

@@ -16,11 +16,15 @@
 //!   attributes → mine the association thesaurus (dual coding);
 //! * the retrieval application ([`query`]): text, visual, dual-coded and
 //!   combined structure+content queries — the paper's Moa query shapes,
-//!   built as typed request plans;
+//!   built as typed request plans behind the unified [`Retriever`] trait;
 //! * the concurrent serving layer ([`serve`]): typed
 //!   [`serve::RetrievalRequest`]s over an immutable snapshot, executed
 //!   directly or through the [`serve::MirrorServer`] worker pool, with the
 //!   ranking plan fused into a streaming top-k operator;
+//! * scale-out ([`shard`]): a [`shard::MirrorCluster`] that partitions the
+//!   corpus across shards, scatters requests through per-shard replica
+//!   routers, and gathers per-shard heaps into the bit-identical global
+//!   top-k;
 //! * relevance feedback ([`feedback`]) and retrieval evaluation
 //!   ([`eval`]).
 
@@ -30,7 +34,11 @@ pub mod eval;
 pub mod feedback;
 pub mod ingest;
 pub mod query;
+pub mod retriever;
 pub mod serve;
+pub mod shard;
+
+pub use retriever::{RetrievalError, RetrievalResult, Retriever};
 
 use cluster::VisualVocabulary;
 use ir::ContrepStore;

@@ -1,12 +1,14 @@
 //! The retrieval application: querying the digital image library.
 //!
-//! Every facade query method is a thin wrapper over the typed serving path
-//! ([`crate::serve::RetrievalRequest`] → [`MirrorDbms::retrieve`]): the
-//! request compiles to a Moa AST with request-scoped bindings (no shared
-//! [`moa::Env`] mutation, no string splicing) and a top-k budget the engine
-//! fuses into the streaming `topk_bl` operator where the plan allows.
+//! The facade query methods (`query_text`, `query_dual`, …) live on the
+//! [`Retriever`](crate::retriever::Retriever) trait as provided methods
+//! over the typed serving path ([`crate::serve::RetrievalRequest`] →
+//! [`Retriever::retrieve`](crate::retriever::Retriever::retrieve)), so
+//! they work identically against a single [`MirrorDbms`] node and a
+//! sharded [`MirrorCluster`](crate::shard::MirrorCluster). This module
+//! keeps the result type, the shared ranking post-pass, and the raw Moa
+//! escape hatch.
 
-use crate::serve::RetrievalRequest;
 use crate::MirrorDbms;
 use ir::text::tokenize_stemmed;
 use moa::{MoaError, QueryOutput};
@@ -24,52 +26,12 @@ pub struct RankedResult {
 }
 
 impl MirrorDbms {
-    /// Free-text retrieval over the annotation channel only — Section 3's
-    /// `map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))`.
-    pub fn query_text(&self, text: &str, k: usize) -> moa::Result<Vec<RankedResult>> {
-        self.retrieve(&RetrievalRequest::text(text, k))
-    }
-
-    /// Visual retrieval: a weighted visual-term query against the image
-    /// channel — Section 5.2's
-    /// `map[sum(THIS)](map[getBL(THIS.image, query, stats)](Lib))`.
-    pub fn query_visual(
-        &self,
-        visual_terms: &[(String, f64)],
-        k: usize,
-    ) -> moa::Result<Vec<RankedResult>> {
-        self.retrieve(&RetrievalRequest::visual(visual_terms.to_vec(), k))
-    }
-
-    /// Dual-coded retrieval: the text query is expanded through the
-    /// association thesaurus into visual terms; both channels contribute
-    /// evidence, mixed with weight `visual_mix ∈ [0, 1]`. The combination
-    /// itself is a single Moa expression over both CONTREP attributes —
-    /// "refer to both structure and content of multimedia data in a single
-    /// query".
-    pub fn query_dual(
-        &self,
-        text: &str,
-        visual_mix: f64,
-        k: usize,
-    ) -> moa::Result<Vec<RankedResult>> {
-        self.retrieve(&RetrievalRequest::dual(text, visual_mix, k))
-    }
-
-    /// Combined data/content retrieval: rank only the documents whose URL
-    /// contains `url_filter` — a relational selection composed with
-    /// probabilistic ranking in one expression. The filter is a typed
-    /// literal: quotes and backslashes in it are data, not Moa syntax.
-    pub fn query_text_filtered(
-        &self,
-        text: &str,
-        url_filter: &str,
-        k: usize,
-    ) -> moa::Result<Vec<RankedResult>> {
-        self.retrieve(&RetrievalRequest::text(text, k).with_filter(url_filter))
-    }
-
     /// Run a raw Moa query string against the library.
+    #[deprecated(
+        since = "0.6.0",
+        note = "stringly-typed entry point; build a typed `serve::RetrievalRequest` and call \
+                `Retriever::retrieve`, or use `engine().query(..)` for raw algebra experiments"
+    )]
     pub fn moa_query(&self, src: &str) -> moa::Result<QueryOutput> {
         self.engine().query(src)
     }
@@ -104,6 +66,7 @@ pub fn weighted_terms(text: &str) -> Vec<(String, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retriever::Retriever;
     use crate::INTERNAL;
     use media::{RobotConfig, WebRobot};
 
@@ -205,6 +168,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn moa_query_passthrough() {
         let db = db();
         let out = db.moa_query(&format!("count({INTERNAL})")).unwrap();

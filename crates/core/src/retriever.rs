@@ -1,0 +1,202 @@
+//! The unified retrieval API: one [`Retriever`] trait over every backend.
+//!
+//! PR 3 made retrieval request-scoped; this module makes it
+//! *backend-scoped*: a [`Retriever`] is anything that can execute a typed
+//! [`RetrievalRequest`] — a single [`MirrorDbms`] node, a sharded
+//! [`MirrorCluster`](crate::shard::MirrorCluster) with replica routing, or
+//! any future backend. The facade query methods (`query_text`,
+//! `query_dual`, …) are *provided* methods of the trait, so the serving
+//! layer ([`crate::serve::MirrorServer`]), the examples and the relevance
+//! feedback loop run unchanged against either backend.
+//!
+//! Errors on this path are structured ([`RetrievalError`]) so callers —
+//! the replica router above all — can match on error *kind*: only a
+//! [`RetrievalError::ShardUnavailable`] is worth retrying on another
+//! replica; a compile error would fail identically everywhere.
+
+use crate::feedback::FeedbackQuery;
+use crate::query::RankedResult;
+use crate::serve::RetrievalRequest;
+use crate::MirrorDbms;
+use moa::MoaError;
+
+/// Structured errors of the public retrieval path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrievalError {
+    /// A shard could not serve the request: the selected replica was down
+    /// and the retry (if any replica was left) failed too. Retryable —
+    /// the router uses this variant to decide to fail over.
+    ShardUnavailable {
+        /// Index of the shard that could not be reached.
+        shard: usize,
+        /// What happened on the way there.
+        detail: String,
+    },
+    /// The request's relational filter is malformed (for example an empty
+    /// pattern, which would silently match every document). Not
+    /// retryable: the same request fails on every replica.
+    BadFilter(String),
+    /// The request failed to compile or execute in the algebra layers.
+    /// Not retryable for the same reason.
+    Compile(MoaError),
+}
+
+impl std::fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetrievalError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
+            RetrievalError::BadFilter(m) => write!(f, "bad filter: {m}"),
+            RetrievalError::Compile(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetrievalError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MoaError> for RetrievalError {
+    fn from(e: MoaError) -> Self {
+        RetrievalError::Compile(e)
+    }
+}
+
+impl RetrievalError {
+    /// Whether another replica could plausibly serve the same request —
+    /// the router's retry predicate.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RetrievalError::ShardUnavailable { .. })
+    }
+}
+
+/// Result alias for the public retrieval path.
+pub type RetrievalResult<T> = std::result::Result<T, RetrievalError>;
+
+/// A retrieval backend: anything that executes typed
+/// [`RetrievalRequest`]s over an ingested corpus.
+///
+/// [`MirrorDbms`] implements it by compiling the request to a Moa plan and
+/// running it on the embedded engine;
+/// [`MirrorCluster`](crate::shard::MirrorCluster) implements it by
+/// scattering the request across shards (through each shard's replica
+/// router) and merging the per-shard top-k heaps. Every facade query
+/// method is a provided method over [`retrieve`](Retriever::retrieve), so
+/// backends get the whole query surface for free:
+///
+/// ```no_run
+/// use mirror_core::{MirrorDbms, Retriever};
+/// # let db = MirrorDbms::with_defaults();
+/// let hits = db.query_text("sunset beach", 10).unwrap();
+/// ```
+pub trait Retriever: Send + Sync {
+    /// Execute a typed retrieval request.
+    fn retrieve(&self, req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>>;
+
+    /// Number of documents in the (whole) corpus this backend serves.
+    fn n_docs(&self) -> usize;
+
+    /// Free-text retrieval over the annotation channel only — Section 3's
+    /// `map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))`.
+    fn query_text(&self, text: &str, k: usize) -> RetrievalResult<Vec<RankedResult>> {
+        self.retrieve(&RetrievalRequest::text(text, k))
+    }
+
+    /// Visual retrieval: a weighted visual-term query against the image
+    /// channel — Section 5.2's
+    /// `map[sum(THIS)](map[getBL(THIS.image, query, stats)](Lib))`.
+    fn query_visual(
+        &self,
+        visual_terms: &[(String, f64)],
+        k: usize,
+    ) -> RetrievalResult<Vec<RankedResult>> {
+        self.retrieve(&RetrievalRequest::visual(visual_terms.to_vec(), k))
+    }
+
+    /// Dual-coded retrieval: the text query is expanded through the
+    /// association thesaurus into visual terms; both channels contribute
+    /// evidence, mixed with weight `visual_mix ∈ [0, 1]`.
+    fn query_dual(
+        &self,
+        text: &str,
+        visual_mix: f64,
+        k: usize,
+    ) -> RetrievalResult<Vec<RankedResult>> {
+        self.retrieve(&RetrievalRequest::dual(text, visual_mix, k))
+    }
+
+    /// Combined data/content retrieval: rank only the documents whose URL
+    /// contains `url_filter` — a relational selection composed with
+    /// probabilistic ranking in one request. The filter is a typed
+    /// literal: quotes and backslashes in it are data, not Moa syntax.
+    fn query_text_filtered(
+        &self,
+        text: &str,
+        url_filter: &str,
+        k: usize,
+    ) -> RetrievalResult<Vec<RankedResult>> {
+        self.retrieve(&RetrievalRequest::text(text, k).with_filter(url_filter))
+    }
+
+    /// Run a dual-channel feedback query state through the typed serving
+    /// path (an empty visual channel falls back to text-only ranking).
+    fn run_feedback_query(
+        &self,
+        query: &FeedbackQuery,
+        visual_mix: f64,
+        k: usize,
+    ) -> RetrievalResult<Vec<RankedResult>> {
+        self.retrieve(&RetrievalRequest::dual_terms(
+            query.text.clone(),
+            query.visual.clone(),
+            visual_mix,
+            k,
+        ))
+    }
+}
+
+impl Retriever for MirrorDbms {
+    fn retrieve(&self, req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
+        req.validate()?;
+        self.retrieve_local(req).map_err(RetrievalError::from)
+    }
+
+    fn n_docs(&self) -> usize {
+        self.docs().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moa_errors_convert_into_compile_kind() {
+        let err: RetrievalError = MoaError::Unknown("thesaurus".into()).into();
+        assert!(matches!(err, RetrievalError::Compile(MoaError::Unknown(_))));
+        assert!(!err.is_retryable());
+        assert!(err.to_string().contains("thesaurus"));
+    }
+
+    #[test]
+    fn only_shard_unavailable_is_retryable() {
+        let down = RetrievalError::ShardUnavailable { shard: 2, detail: "replica 0 down".into() };
+        assert!(down.is_retryable());
+        assert!(down.to_string().contains("shard 2"));
+        assert!(!RetrievalError::BadFilter("empty".into()).is_retryable());
+    }
+
+    #[test]
+    fn un_ingested_instance_reports_compile_errors() {
+        let db = MirrorDbms::with_defaults();
+        // dual retrieval needs the thesaurus an ingest would have built
+        let err = db.query_dual("sunset", 0.5, 5).unwrap_err();
+        assert!(matches!(err, RetrievalError::Compile(_)));
+    }
+}

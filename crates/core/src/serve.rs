@@ -13,21 +13,29 @@
 //!   AST, so user input is always a *literal* (no string injection), and
 //!   their bindings travel as request-scoped [`moa::QueryParams`] — no
 //!   request ever writes to the shared [`moa::Env`];
-//! * [`MirrorDbms::retrieve`] — the one retrieval entry point every facade
-//!   query method now goes through. The top-k budget lets the engine fuse
-//!   the ranking plan into the streaming `topk_bl` operator
-//!   (`ir::topk`), which skips documents that provably cannot enter the
-//!   result;
-//! * [`MirrorServer`] — a worker pool over `Arc<MirrorDbms>` with
-//!   throughput/latency counters, for callers that want a concurrent
-//!   serving front end rather than direct calls.
+//! * [`Retriever::retrieve`] — the one retrieval entry point every facade
+//!   query method now goes through.
+//!   The top-k budget lets the engine fuse the ranking plan into the
+//!   streaming `topk_bl` operator (`ir::topk`), which skips documents that
+//!   provably cannot enter the result;
+//! * [`ReplicaRouter`] — a shard-local router over a replica set: spreads
+//!   requests by least-outstanding (round-robin on ties), suspects a
+//!   replica whose call fails, and retries exactly once on a different
+//!   replica before surfacing
+//!   [`RetrievalError::ShardUnavailable`];
+//! * [`MirrorServer`] — a worker pool over any `Arc<R: Retriever>` (a
+//!   single node or a whole [`MirrorCluster`](crate::shard::MirrorCluster))
+//!   with throughput and latency counters, including p50/p99 percentiles
+//!   so replica spreading is observable.
 
 use crate::query::{weighted_terms, RankedResult};
+use crate::retriever::{RetrievalError, RetrievalResult, Retriever};
 use crate::{MirrorDbms, INTERNAL};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use moa::expr::Lit;
 use moa::{Expr, MoaError, QueryParams};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -136,6 +144,24 @@ impl RetrievalRequest {
         self.filter = Some(pattern.into());
         self
     }
+
+    /// Check the request before compiling it anywhere. Runs once at the
+    /// cluster edge (and on direct single-node calls), not per shard.
+    pub fn validate(&self) -> RetrievalResult<()> {
+        if let Some(pattern) = &self.filter {
+            if pattern.is_empty() {
+                return Err(RetrievalError::BadFilter(
+                    "empty URL filter would match every document; omit the filter instead".into(),
+                ));
+            }
+            if pattern.contains('\0') {
+                return Err(RetrievalError::BadFilter(
+                    "URL filter contains a NUL byte, which no URL can".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// `sum(getBL(THIS.attr, binding, stats))`.
@@ -161,12 +187,13 @@ fn ranking_expr(attr: &str, binding: &str, input: Expr) -> Expr {
 }
 
 impl MirrorDbms {
-    /// Execute a typed retrieval request — the single entry point behind
-    /// every facade query method. Compiles the request to a Moa AST with
-    /// request-scoped bindings (never mutating the shared environment) and
-    /// a top-k budget the engine fuses into the streaming top-k operator
-    /// where the plan shape allows.
-    pub fn retrieve(&self, req: &RetrievalRequest) -> moa::Result<Vec<RankedResult>> {
+    /// Execute a typed retrieval request on this node — the engine behind
+    /// [`Retriever::retrieve`] for the single-node backend, and the
+    /// per-shard executor for the cluster. Compiles the request to a Moa
+    /// AST with request-scoped bindings (never mutating the shared
+    /// environment) and a top-k budget the engine fuses into the streaming
+    /// top-k operator where the plan shape allows.
+    pub(crate) fn retrieve_local(&self, req: &RetrievalRequest) -> moa::Result<Vec<RankedResult>> {
         let (expr, params) = self.compile_request(req)?;
         let (out, _) = self.engine().query_expr_params(&expr, &params)?;
         self.ranked(out, req.k)
@@ -239,13 +266,51 @@ impl MirrorDbms {
     }
 }
 
-/// Cumulative serving counters (lock-free; shared with every worker).
+/// At most this many latency samples are kept for percentile estimation;
+/// beyond it the ring wraps and the oldest samples are overwritten.
+const LATENCY_SAMPLE_CAP: usize = 8192;
+
+/// Cumulative serving counters (shared with every worker). Sums and
+/// extrema are lock-free; the percentile ring takes a short lock per
+/// request.
 #[derive(Debug, Default)]
 struct ServeCounters {
     served: AtomicU64,
     errors: AtomicU64,
     latency_ns: AtomicU64,
     max_latency_ns: AtomicU64,
+    /// Ring buffer of recent per-request latencies for p50/p99.
+    samples_ns: Mutex<Vec<u64>>,
+    sample_cursor: AtomicUsize,
+}
+
+impl ServeCounters {
+    fn record(&self, ns: u64, is_err: bool) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.latency_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_latency_ns.fetch_max(ns, Ordering::Relaxed);
+        if is_err {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = self.sample_cursor.fetch_add(1, Ordering::Relaxed) % LATENCY_SAMPLE_CAP;
+        let mut samples = self.samples_ns.lock();
+        if slot < samples.len() {
+            samples[slot] = ns;
+        } else {
+            samples.push(ns);
+        }
+    }
+
+    /// `(p50, p99)` latency over the retained samples, in nanoseconds.
+    fn percentiles_ns(&self) -> (u64, u64) {
+        let mut samples = self.samples_ns.lock().clone();
+        if samples.is_empty() {
+            return (0, 0);
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        (rank(0.50), rank(0.99))
+    }
 }
 
 /// A point-in-time snapshot of a server's throughput and latency.
@@ -257,6 +322,11 @@ pub struct ServerStats {
     pub errors: u64,
     /// Mean request latency in milliseconds.
     pub mean_latency_ms: f64,
+    /// Median request latency in milliseconds (over recent requests).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile request latency in milliseconds (over recent
+    /// requests) — the tail the replica router exists to flatten.
+    pub p99_latency_ms: f64,
     /// Worst request latency in milliseconds.
     pub max_latency_ms: f64,
     /// Completed requests per second since the server started.
@@ -267,25 +337,27 @@ pub struct ServerStats {
 
 /// A pending response handed out by [`MirrorServer::submit`].
 pub struct PendingRetrieval {
-    rx: Receiver<moa::Result<Vec<RankedResult>>>,
+    rx: Receiver<RetrievalResult<Vec<RankedResult>>>,
 }
 
 impl PendingRetrieval {
     /// Block until the worker pool finishes this request.
-    pub fn wait(self) -> moa::Result<Vec<RankedResult>> {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Err(MoaError::Unknown("server shut down mid-request".into())))
+    pub fn wait(self) -> RetrievalResult<Vec<RankedResult>> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(RetrievalError::Compile(MoaError::Unknown("server shut down mid-request".into())))
+        })
     }
 }
 
 struct ServerJob {
     req: RetrievalRequest,
-    reply: Sender<moa::Result<Vec<RankedResult>>>,
+    reply: Sender<RetrievalResult<Vec<RankedResult>>>,
 }
 
 /// A concurrent retrieval server: a fixed worker pool draining a request
-/// queue against one shared, immutable [`MirrorDbms`] snapshot.
+/// queue against one shared, immutable [`Retriever`] backend — a
+/// single-node [`MirrorDbms`] snapshot (the default) or a sharded
+/// [`MirrorCluster`](crate::shard::MirrorCluster).
 ///
 /// ```no_run
 /// # use std::sync::Arc;
@@ -295,18 +367,18 @@ struct ServerJob {
 /// let hits = server.query(&RetrievalRequest::text("sunset beach", 10)).unwrap();
 /// println!("{} hits, {:?}", hits.len(), server.stats());
 /// ```
-pub struct MirrorServer {
-    db: Arc<MirrorDbms>,
+pub struct MirrorServer<R: Retriever + 'static = MirrorDbms> {
+    db: Arc<R>,
     tx: Option<Sender<ServerJob>>,
     workers: Vec<JoinHandle<()>>,
     counters: Arc<ServeCounters>,
     started: Instant,
 }
 
-impl MirrorServer {
+impl<R: Retriever + 'static> MirrorServer<R> {
     /// Start a server with `workers` threads (0 = one per available core)
-    /// over a shared snapshot.
-    pub fn start(db: Arc<MirrorDbms>, workers: usize) -> Self {
+    /// over a shared backend.
+    pub fn start(db: Arc<R>, workers: usize) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
@@ -324,12 +396,7 @@ impl MirrorServer {
                         let t0 = Instant::now();
                         let result = db.retrieve(&job.req);
                         let ns = t0.elapsed().as_nanos() as u64;
-                        counters.served.fetch_add(1, Ordering::Relaxed);
-                        counters.latency_ns.fetch_add(ns, Ordering::Relaxed);
-                        counters.max_latency_ns.fetch_max(ns, Ordering::Relaxed);
-                        if result.is_err() {
-                            counters.errors.fetch_add(1, Ordering::Relaxed);
-                        }
+                        counters.record(ns, result.is_err());
                         let _ = job.reply.send(result);
                     }
                 })
@@ -338,8 +405,8 @@ impl MirrorServer {
         MirrorServer { db, tx: Some(tx), workers: handles, counters, started: Instant::now() }
     }
 
-    /// The shared snapshot this server ranks against.
-    pub fn db(&self) -> &Arc<MirrorDbms> {
+    /// The shared backend this server ranks against.
+    pub fn db(&self) -> &Arc<R> {
         &self.db
     }
 
@@ -354,7 +421,7 @@ impl MirrorServer {
     }
 
     /// Execute a request, blocking until its results are ready.
-    pub fn query(&self, req: &RetrievalRequest) -> moa::Result<Vec<RankedResult>> {
+    pub fn query(&self, req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
         self.submit(req.clone()).wait()
     }
 
@@ -362,6 +429,7 @@ impl MirrorServer {
     pub fn stats(&self) -> ServerStats {
         let served = self.counters.served.load(Ordering::Relaxed);
         let latency_ns = self.counters.latency_ns.load(Ordering::Relaxed);
+        let (p50_ns, p99_ns) = self.counters.percentiles_ns();
         let elapsed = self.started.elapsed().as_secs_f64();
         ServerStats {
             served,
@@ -371,6 +439,8 @@ impl MirrorServer {
             } else {
                 latency_ns as f64 / served as f64 / 1e6
             },
+            p50_latency_ms: p50_ns as f64 / 1e6,
+            p99_latency_ms: p99_ns as f64 / 1e6,
             max_latency_ms: self.counters.max_latency_ns.load(Ordering::Relaxed) as f64 / 1e6,
             throughput_per_sec: if elapsed > 0.0 { served as f64 / elapsed } else { 0.0 },
             workers: self.workers.len(),
@@ -391,9 +461,156 @@ impl MirrorServer {
     }
 }
 
-impl Drop for MirrorServer {
+impl<R: Retriever + 'static> Drop for MirrorServer<R> {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// One replica of a shard: a shared backend plus the router's view of its
+/// liveness and load.
+struct Replica<R> {
+    backend: Arc<R>,
+    /// Simulated process liveness — [`ReplicaRouter::kill`] flips this, as
+    /// a crashed replica process would. A down replica fails every call.
+    up: AtomicBool,
+    /// The router's health suspicion, set after a failed call so later
+    /// requests stop selecting this replica until it is revived.
+    suspected: AtomicBool,
+    /// Requests currently in flight on this replica.
+    outstanding: AtomicUsize,
+}
+
+/// A shard-local router over a replica set.
+///
+/// Selection is least-outstanding among unsuspected replicas, with a
+/// round-robin cursor breaking ties so equal-load replicas share traffic.
+/// A call that fails retryably ([`RetrievalError::is_retryable`]) marks
+/// the replica suspected and is retried exactly once on a different
+/// replica; a second failure (or no replica left) surfaces
+/// [`RetrievalError::ShardUnavailable`].
+pub struct ReplicaRouter<R: Retriever> {
+    shard: usize,
+    replicas: Vec<Replica<R>>,
+    cursor: AtomicUsize,
+}
+
+impl<R: Retriever> ReplicaRouter<R> {
+    /// Build a router for `shard` over its replica set (all replicas share
+    /// the same immutable shard snapshot).
+    pub fn new(shard: usize, backends: Vec<Arc<R>>) -> Self {
+        assert!(!backends.is_empty(), "a shard needs at least one replica");
+        let replicas = backends
+            .into_iter()
+            .map(|backend| Replica {
+                backend,
+                up: AtomicBool::new(true),
+                suspected: AtomicBool::new(false),
+                outstanding: AtomicUsize::new(0),
+            })
+            .collect();
+        ReplicaRouter { shard, replicas, cursor: AtomicUsize::new(0) }
+    }
+
+    /// Number of replicas in the set.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Replicas currently believed healthy (up and not suspected).
+    pub fn n_healthy(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.up.load(Ordering::Relaxed) && !r.suspected.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Simulate a replica crash: every call routed to it now fails, and
+    /// the router fails over to its siblings.
+    pub fn kill(&self, replica: usize) {
+        self.replicas[replica].up.store(false, Ordering::Relaxed);
+    }
+
+    /// Bring a killed replica back and clear the router's suspicion.
+    pub fn revive(&self, replica: usize) {
+        self.replicas[replica].up.store(true, Ordering::Relaxed);
+        self.replicas[replica].suspected.store(false, Ordering::Relaxed);
+    }
+
+    /// Pick the replica to try next: least outstanding among unsuspected
+    /// replicas (round-robin on ties), skipping `exclude`. Falls back to
+    /// suspected replicas when nothing better is left — a suspected
+    /// replica may have recovered, and trying it beats failing outright.
+    fn select(&self, exclude: Option<usize>) -> Option<usize> {
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let pick = |allow_suspected: bool| {
+            let mut best: Option<(usize, usize)> = None;
+            for offset in 0..self.replicas.len() {
+                let i = (start + offset) % self.replicas.len();
+                if Some(i) == exclude {
+                    continue;
+                }
+                let r = &self.replicas[i];
+                if !allow_suspected && r.suspected.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let load = r.outstanding.load(Ordering::Relaxed);
+                if best.is_none_or(|(_, b)| load < b) {
+                    best = Some((i, load));
+                }
+            }
+            best.map(|(i, _)| i)
+        };
+        pick(false).or_else(|| pick(true))
+    }
+
+    /// Execute one call on `replica`, maintaining its load gauge.
+    fn call(&self, replica: usize, req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
+        let r = &self.replicas[replica];
+        if !r.up.load(Ordering::Relaxed) {
+            return Err(RetrievalError::ShardUnavailable {
+                shard: self.shard,
+                detail: format!("replica {replica} is down"),
+            });
+        }
+        r.outstanding.fetch_add(1, Ordering::Relaxed);
+        let result = r.backend.retrieve(req);
+        r.outstanding.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Route a request: try the selected replica, fail over once.
+    pub fn retrieve(&self, req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
+        let Some(first) = self.select(None) else {
+            return Err(RetrievalError::ShardUnavailable {
+                shard: self.shard,
+                detail: "no replicas configured".into(),
+            });
+        };
+        match self.call(first, req) {
+            Err(e) if e.is_retryable() => {
+                self.replicas[first].suspected.store(true, Ordering::Relaxed);
+                match self.select(Some(first)) {
+                    Some(second) => self.call(second, req).map_err(|e2| match e2 {
+                        RetrievalError::ShardUnavailable { shard, detail } => {
+                            RetrievalError::ShardUnavailable {
+                                shard,
+                                detail: format!(
+                                    "replica {first} failed ({e}); retry on replica {second} \
+                                     failed ({detail})"
+                                ),
+                            }
+                        }
+                        other => other,
+                    }),
+                    None => Err(RetrievalError::ShardUnavailable {
+                        shard: self.shard,
+                        detail: format!("replica {first} failed ({e}); no replica left to retry"),
+                    }),
+                }
+            }
+            other => other,
+        }
     }
 }
 

@@ -48,6 +48,12 @@ pub struct InvertedIndex {
     max_tf: Vec<u32>,
     /// Token count per document.
     doc_len: Vec<u32>,
+    /// Pinned collection statistics of the *parent* collection when this
+    /// index is a shard projection; `None` for a self-contained index.
+    /// Beliefs scored against a projection use these instead of locally
+    /// recomputed statistics, so every shard of a partitioned corpus ranks
+    /// with the same `n_docs`/`avg_dl` as the unpartitioned collection.
+    pinned_stats: Option<CollectionStats>,
 }
 
 impl InvertedIndex {
@@ -98,8 +104,14 @@ impl InvertedIndex {
         posts.binary_search_by_key(&doc, |p| p.doc).map(|i| posts[i].tf).unwrap_or(0)
     }
 
-    /// Collection statistics.
+    /// Collection statistics. For a [shard projection](Self::shard_projection)
+    /// these are the pinned statistics of the parent collection, not the
+    /// local fragment's — the property that makes sharded ranking
+    /// bit-identical to single-node ranking.
     pub fn stats(&self) -> CollectionStats {
+        if let Some(pinned) = self.pinned_stats {
+            return pinned;
+        }
         let total: u64 = self.doc_len.iter().map(|&l| l as u64).sum();
         let n = self.doc_len.len();
         CollectionStats {
@@ -107,6 +119,58 @@ impl InvertedIndex {
             n_terms: self.dict.len(),
             avg_dl: if n == 0 { 0.0 } else { total as f64 / n as f64 },
             total_tokens: total,
+        }
+    }
+
+    /// Project the index onto a subset of its documents (ascending global
+    /// doc ids), remapping them to dense local oids `0..docs.len()` —
+    /// the index a corpus shard serves in a scatter-gather deployment.
+    ///
+    /// The projection keeps the parent's *global* term statistics: the
+    /// dictionary, `df`, `cf` and `max_tf` arrays are inherited unchanged,
+    /// and [`stats`](Self::stats) is pinned to the parent's values. Only
+    /// postings and document lengths are restricted. A belief scored for a
+    /// document through the projection is therefore the same
+    /// floating-point value the parent index produces, and per-shard
+    /// top-k heaps merge into exactly the single-node ranking
+    /// ([`crate::topk::TopKAccumulator::merge`]).
+    ///
+    /// # Panics
+    /// Panics if `docs` is not strictly ascending or contains an id
+    /// outside the collection.
+    pub fn shard_projection(&self, docs: &[Oid]) -> InvertedIndex {
+        assert!(docs.windows(2).all(|w| w[0] < w[1]), "shard doc ids must be strictly ascending");
+        if let Some(&last) = docs.last() {
+            assert!(
+                (last as usize) < self.n_docs(),
+                "doc id {last} outside collection of {} docs",
+                self.n_docs()
+            );
+        }
+        // global doc id → local oid (dense because `docs` is ascending)
+        let mut local = vec![Oid::MAX; self.n_docs()];
+        for (i, &d) in docs.iter().enumerate() {
+            local[d as usize] = i as Oid;
+        }
+        let postings = self
+            .postings
+            .iter()
+            .map(|posts| {
+                posts
+                    .iter()
+                    .filter(|p| local[p.doc as usize] != Oid::MAX)
+                    .map(|p| Posting { doc: local[p.doc as usize], tf: p.tf })
+                    .collect()
+            })
+            .collect();
+        InvertedIndex {
+            dict: self.dict.clone(),
+            postings,
+            df: self.df.clone(),
+            cf: self.cf.clone(),
+            max_tf: self.max_tf.clone(),
+            doc_len: docs.iter().map(|&d| self.doc_len(d)).collect(),
+            pinned_stats: Some(self.stats()),
         }
     }
 
@@ -210,6 +274,7 @@ impl IndexBuilder {
             cf: self.cf,
             max_tf,
             doc_len: self.doc_len,
+            pinned_stats: None,
         }
     }
 }
@@ -311,5 +376,48 @@ mod tests {
         assert_eq!(idx.n_docs(), 0);
         assert_eq!(idx.stats().avg_dl, 0.0);
         assert!(idx.postings("x").is_none());
+    }
+
+    #[test]
+    fn shard_projection_keeps_global_statistics() {
+        let idx = small_index();
+        let shard = idx.shard_projection(&[1, 3]);
+        // global statistics are pinned, not recomputed from the fragment
+        assert_eq!(shard.stats(), idx.stats());
+        assert_eq!(shard.df("sunset"), idx.df("sunset"));
+        assert_eq!(shard.cf("forest"), idx.cf("forest"));
+        assert_eq!(shard.max_tf("forest"), idx.max_tf("forest"));
+        // local data is restricted and remapped: global 1 → local 0, 3 → 1
+        assert_eq!(shard.n_docs(), 2);
+        assert_eq!(shard.doc_len(0), idx.doc_len(1));
+        assert_eq!(shard.doc_len(1), idx.doc_len(3));
+        assert_eq!(shard.tf("forest", 0), idx.tf("forest", 1));
+        assert_eq!(shard.tf("sunset", 1), idx.tf("sunset", 3));
+        // a term whose postings all live on other shards keeps its global
+        // df but has no local postings ("forest" occurs only in doc 1)
+        let other = idx.shard_projection(&[0, 2]);
+        assert_eq!(other.postings("forest").map(<[Posting]>::len), Some(0));
+        assert_eq!(other.df("forest"), 1);
+    }
+
+    #[test]
+    fn shard_projections_cover_the_parent() {
+        let idx = small_index();
+        let a = idx.shard_projection(&[0, 2]);
+        let b = idx.shard_projection(&[1, 3]);
+        assert_eq!(a.n_docs() + b.n_docs(), idx.n_docs());
+        // every posting of every term lands on exactly one shard
+        for term in ["sunset", "beach", "forest", "mist"] {
+            let total = idx.postings(term).map_or(0, <[Posting]>::len);
+            let split = a.postings(term).map_or(0, <[Posting]>::len)
+                + b.postings(term).map_or(0, <[Posting]>::len);
+            assert_eq!(split, total, "{term}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn shard_projection_rejects_unsorted_docs() {
+        small_index().shard_projection(&[2, 1]);
     }
 }

@@ -13,7 +13,7 @@
 //! cargo run --release --example image_retrieval
 //! ```
 
-use mirror::core::{MirrorConfig, MirrorDbms};
+use mirror::core::{MirrorConfig, MirrorDbms, Retriever};
 use mirror::media::{RobotConfig, WebRobot};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let combined = "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](
                       select[contains(THIS.source, \"/sunset/\")](ImageLibraryInternal)))";
     println!("combined select ∘ rank query:\n  {combined}\n");
-    let out = db.moa_query(combined)?;
+    let out = db.engine().query(combined)?;
     println!("ranked {} surviving documents\n", out.len());
 
     // 2. the same query written select-after-map: the rewriter pushes the
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.env().bind_query("vq", vec![("rgb_0".into(), 1.0)]);
     let two_channel = "map[sum(getBL(THIS.annotation, query, stats)) * 0.7
                           + sum(getBL(THIS.image, vq, stats)) * 0.3](ImageLibraryInternal)";
-    let both = db.moa_query(two_channel)?;
+    let both = db.engine().query(two_channel)?;
     println!("\ntwo-channel evidence combination returned {} beliefs", both.len());
     Ok(())
 }

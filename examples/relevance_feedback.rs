@@ -10,7 +10,7 @@
 
 use mirror::core::eval::precision_at_k;
 use mirror::core::feedback::{FeedbackParams, FeedbackQuery};
-use mirror::core::{MirrorConfig, MirrorDbms};
+use mirror::core::{MirrorConfig, MirrorDbms, Retriever};
 use mirror::media::{RobotConfig, WebRobot};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -25,7 +25,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use mirror::core::{MirrorDbms, MirrorConfig};
+//! use mirror::core::{MirrorDbms, MirrorConfig, Retriever};
 //! use mirror::media::{WebRobot, RobotConfig};
 //!
 //! // crawl a small synthetic library and ingest it
@@ -33,14 +33,32 @@
 //! let mut db = MirrorDbms::new(MirrorConfig::default());
 //! db.ingest(&corpus).unwrap();
 //!
-//! // the paper's ranking query, verbatim
+//! // the typed retrieval API (every backend implements `Retriever`)
+//! let hits = db.query_text("sunset", 5).unwrap();
+//! assert!(hits.len() <= 5);
+//!
+//! // the paper's ranking query, verbatim, on the embedded Moa engine
 //! db.env().bind_query("query", vec![("sunset".into(), 1.0)]);
 //! let out = db
-//!     .moa_query(
-//!         "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](ImageLibraryInternal))",
-//!     )
+//!     .engine()
+//!     .query("map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](ImageLibraryInternal))")
 //!     .unwrap();
 //! assert_eq!(out.len(), 12);
+//! ```
+//!
+//! ## Cluster quickstart
+//!
+//! Partition the same corpus across shards with replicated routing — the
+//! answers are bit-identical to the single node:
+//!
+//! ```
+//! use mirror::core::{shard::MirrorCluster, Retriever};
+//! use mirror::media::{WebRobot, RobotConfig};
+//!
+//! let corpus = WebRobot::new(RobotConfig { n_images: 12, ..Default::default() }).crawl();
+//! let cluster = MirrorCluster::build(&corpus, 2, 2).unwrap();
+//! let hits = cluster.query_text("sunset", 5).unwrap();
+//! assert!(hits.len() <= 5);
 //! ```
 
 #![warn(missing_docs)]

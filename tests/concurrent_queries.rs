@@ -5,7 +5,7 @@
 
 use mirror::core::query::RankedResult;
 use mirror::core::serve::{MirrorServer, RetrievalRequest};
-use mirror::core::{MirrorConfig, MirrorDbms};
+use mirror::core::{MirrorConfig, MirrorDbms, Retriever};
 use mirror::media::{RobotConfig, WebRobot};
 use std::sync::{Arc, OnceLock};
 

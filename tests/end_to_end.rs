@@ -2,7 +2,7 @@
 //! demo pipeline, the paper's queries, and the cross-layer invariants.
 
 use mirror::core::eval::{average_precision, precision_at_k};
-use mirror::core::{Clustering, MirrorConfig, MirrorDbms, INTERNAL};
+use mirror::core::{Clustering, MirrorConfig, MirrorDbms, Retriever, INTERNAL};
 use mirror::media::{RobotConfig, WebRobot};
 use mirror::moa::QueryOutput;
 use std::sync::OnceLock;
@@ -58,9 +58,8 @@ fn paper_ranking_query_runs_on_both_channels() {
     db.env().bind_query("e2equery", vec![("sunset".into(), 1.0)]);
     for attr in ["annotation", "image"] {
         let out = db
-            .moa_query(&format!(
-                "map[sum(THIS)](map[getBL(THIS.{attr}, e2equery, stats)]({INTERNAL}))"
-            ))
+            .engine()
+            .query(&format!("map[sum(THIS)](map[getBL(THIS.{attr}, e2equery, stats)]({INTERNAL}))"))
             .unwrap();
         assert_eq!(out.len(), 60, "channel {attr}");
     }
@@ -98,15 +97,17 @@ fn combined_structure_content_query_filters_and_ranks() {
 fn relational_queries_coexist_with_ranking() {
     let db = db();
     // pure data retrieval over the same collection
-    let out =
-        db.moa_query(&format!("select[contains(THIS.source, \"/ocean/\")]({INTERNAL})")).unwrap();
+    let out = db
+        .engine()
+        .query(&format!("select[contains(THIS.source, \"/ocean/\")]({INTERNAL})"))
+        .unwrap();
     let QueryOutput::Oids(oids) = out else { panic!("expected oids") };
     assert!(!oids.is_empty());
     for oid in &oids {
         assert!(db.docs()[*oid as usize].url.contains("/ocean/"));
     }
     // count
-    let out = db.moa_query(&format!("count({INTERNAL})")).unwrap();
+    let out = db.engine().query(&format!("count({INTERNAL})")).unwrap();
     assert_eq!(out.scalar().and_then(|v| v.as_int()), Some(60));
 }
 
@@ -115,7 +116,7 @@ fn naive_interpreter_agrees_with_flattened_engine_end_to_end() {
     let db = db();
     db.env().bind_query("e2enaive", vec![("sunset".into(), 1.0), ("glow".into(), 1.0)]);
     let q = format!("map[sum(THIS)](map[getBL(THIS.annotation, e2enaive, stats)]({INTERNAL}))");
-    let flat = db.moa_query(&q).unwrap();
+    let flat = db.engine().query(&q).unwrap();
     let naive = mirror::moa::naive::NaiveEngine::new(db.env()).query(&q).unwrap();
     let (QueryOutput::Pairs(f), QueryOutput::Pairs(n)) = (&flat, &naive) else {
         panic!("expected pairs");

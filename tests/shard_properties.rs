@@ -1,0 +1,159 @@
+//! Property tests for the sharded retrieval path: hash placement must be
+//! balanced, a cluster must answer every query bit-identically to a
+//! single node at 1/2/4 shards, and the replica router must survive the
+//! loss of one replica per shard without changing a single result.
+
+use mirror::core::shard::{hash_shard, MirrorCluster};
+use mirror::core::{MirrorDbms, RetrievalError, Retriever};
+use mirror::media::{CrawledImage, RobotConfig, WebRobot};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const THEMES: &[&str] = &["sunset", "forest", "ocean", "desert", "city", "snow"];
+
+// Hash partitioning balance: at ≥ 1k documents no shard may hold more
+// than twice the mean load, for any shard count up to 8.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_hash_partitioning_is_balanced(
+        n in 1_000usize..2_500,
+        salt in 0u64..1_000,
+        shards in 2usize..=8,
+    ) {
+        let mut counts = vec![0usize; shards];
+        for i in 0..n {
+            // realistic library URLs: theme directory + per-crawl id
+            let url = format!("http://img.example/{}/{}-{salt}.png", THEMES[i % THEMES.len()], i);
+            counts[hash_shard(&url, shards)] += 1;
+        }
+        let mean = n as f64 / shards as f64;
+        for (shard, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) <= 2.0 * mean,
+                "shard {} holds {} of {} docs (mean {:.1})", shard, c, n, mean
+            );
+        }
+    }
+}
+
+/// One corpus, one single node, and clusters at 1/2/4 shards — built once
+/// and shared by every proptest case below (building them is the
+/// expensive part; the properties range over queries).
+struct Fixture {
+    single: MirrorDbms,
+    clusters: Vec<MirrorCluster>,
+}
+
+fn corpus() -> Vec<CrawledImage> {
+    WebRobot::new(RobotConfig {
+        n_images: 48,
+        image_size: 24,
+        unannotated_fraction: 0.25,
+        seed: 33,
+    })
+    .crawl()
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let corpus = corpus();
+        let mut single = MirrorDbms::with_defaults();
+        single.ingest(&corpus).unwrap();
+        let clusters = [1usize, 2, 4]
+            .into_iter()
+            .map(|shards| MirrorCluster::build(&corpus, shards, 2).unwrap())
+            .collect();
+        Fixture { single, clusters }
+    })
+}
+
+const QUERY_POOL: &[&str] =
+    &["sunset", "glow", "evening", "forest", "tree", "moss", "ocean", "wave", "snow", "mountain"];
+
+fn query_text(words: &[usize]) -> String {
+    words.iter().map(|&w| QUERY_POOL[w % QUERY_POOL.len()]).collect::<Vec<_>>().join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// top-k@{1,2,4} shards ≡ top-k@single-node: same documents, same
+    /// bit-identical scores, same tie-breaks — for text, dual-coded and
+    /// relationally filtered queries alike.
+    #[test]
+    fn prop_cluster_topk_is_bit_identical_to_single_node(
+        words in proptest::collection::vec(0usize..QUERY_POOL.len(), 1..4),
+        k in 1usize..48,
+        mix in 0.0f64..=1.0,
+        theme in 0usize..THEMES.len(),
+    ) {
+        let f = fixture();
+        let q = query_text(&words);
+        let expected_text = f.single.query_text(&q, k).unwrap();
+        let expected_dual = f.single.query_dual(&q, mix, k).unwrap();
+        let filter = format!("/{}/", THEMES[theme]);
+        let expected_filtered = f.single.query_text_filtered(&q, &filter, k).unwrap();
+        for cluster in &f.clusters {
+            let shards = cluster.n_shards();
+            prop_assert_eq!(
+                &cluster.query_text(&q, k).unwrap(), &expected_text,
+                "text {:?} k={} shards={}", &q, k, shards
+            );
+            prop_assert_eq!(
+                &cluster.query_dual(&q, mix, k).unwrap(), &expected_dual,
+                "dual {:?} k={} mix={} shards={}", &q, k, mix, shards
+            );
+            prop_assert_eq!(
+                &cluster.query_text_filtered(&q, &filter, k).unwrap(), &expected_filtered,
+                "filtered {:?} k={} filter={:?} shards={}", &q, k, &filter, shards
+            );
+        }
+    }
+
+    /// Failover: with one replica of every shard killed (whichever one),
+    /// the router fails over and the complete top-k is unchanged.
+    #[test]
+    fn prop_failover_preserves_complete_topk(
+        words in proptest::collection::vec(0usize..QUERY_POOL.len(), 1..4),
+        k in 1usize..48,
+        dead_replica in 0usize..2,
+    ) {
+        let f = fixture();
+        let q = query_text(&words);
+        let expected = f.single.query_text(&q, k).unwrap();
+        for cluster in &f.clusters {
+            for shard in 0..cluster.n_shards() {
+                cluster.kill_replica(shard, dead_replica);
+            }
+            let got = cluster.query_text(&q, k).unwrap();
+            for shard in 0..cluster.n_shards() {
+                cluster.revive_replica(shard, dead_replica);
+            }
+            prop_assert_eq!(&got, &expected, "query {:?} k={} shards={}", &q, k, cluster.n_shards());
+        }
+    }
+}
+
+/// Losing every replica of a shard is an error — a shard's documents
+/// cannot silently vanish from the ranking.
+#[test]
+fn losing_a_whole_shard_errors_rather_than_truncating() {
+    let f = fixture();
+    let cluster = &f.clusters[1]; // 2 shards × 2 replicas
+    cluster.kill_replica(0, 0);
+    cluster.kill_replica(0, 1);
+    let err = cluster.query_text("sunset glow", 10).unwrap_err();
+    assert!(
+        matches!(err, RetrievalError::ShardUnavailable { shard: 0, .. }),
+        "expected ShardUnavailable for shard 0, got {err}"
+    );
+    cluster.revive_replica(0, 0);
+    cluster.revive_replica(0, 1);
+    assert_eq!(
+        cluster.query_text("sunset glow", 10).unwrap(),
+        f.single.query_text("sunset glow", 10).unwrap()
+    );
+}
