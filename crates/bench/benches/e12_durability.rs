@@ -1,0 +1,91 @@
+//! E12 — the durable storage tier (ROADMAP: persistence beyond process
+//! lifetime).
+//!
+//! Three workloads over a 600-document corpus (the report binary runs the
+//! 2k-document version and checks the acceptance ratio):
+//!
+//! * `open`: cold-opening a persisted instance from checksummed pages vs
+//!   re-running the whole ingest pipeline — the reason the tier exists.
+//!   Acceptance (checked in the report): cold open ≥ 5× faster.
+//! * `save`: a full save + checkpoint to an in-memory backend, isolating
+//!   serialisation + WAL + page-write cost from disk hardware.
+//! * `get`: point reads through the buffer pool at pool sizes 2 and
+//!   unbounded — the clock eviction overhead under maximal pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::{cluster_corpus, cluster_node_config};
+use mirror_core::MirrorDbms;
+use monet::{MemFs, Store, StoreOptions};
+use std::sync::Arc;
+
+const DOCS: usize = 600;
+
+fn bench(c: &mut Criterion) {
+    let corpus = cluster_corpus(DOCS, 42);
+    let node = cluster_node_config();
+    let mut db = MirrorDbms::new(node.clone());
+    db.ingest(&corpus).unwrap();
+
+    let saved = MemFs::new();
+    let store = Store::open(Arc::new(saved.clone()), StoreOptions::default()).unwrap();
+    db.save_to(&store).unwrap();
+    store.checkpoint().unwrap();
+    drop(store);
+
+    let mut group = c.benchmark_group("e12_open");
+    group.sample_size(10);
+    group.bench_function("cold_open", |b| {
+        b.iter(|| {
+            let store = Store::open(Arc::new(saved.clone()), StoreOptions::default()).unwrap();
+            MirrorDbms::open_from(&store).unwrap()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("re_ingest", |b| {
+        b.iter(|| {
+            let mut db = MirrorDbms::new(node.clone());
+            db.ingest(&corpus).unwrap();
+            db
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e12_save");
+    group.sample_size(10);
+    group.bench_function("save_and_checkpoint", |b| {
+        b.iter(|| {
+            let fs = MemFs::new();
+            let store = Store::open(Arc::new(fs), StoreOptions::default()).unwrap();
+            db.save_to(&store).unwrap();
+            store.checkpoint().unwrap();
+        })
+    });
+    group.finish();
+
+    // point reads under pool pressure: every key, round-robin, at a pool
+    // far smaller than the page count vs no eviction at all
+    let mut group = c.benchmark_group("e12_get");
+    for &pool in &[2usize, 0] {
+        let store =
+            Store::open(Arc::new(saved.clone()), StoreOptions { pool_pages: pool }).unwrap();
+        let keys = store.keys();
+        group.bench_with_input(
+            BenchmarkId::new(
+                "pool_pages",
+                if pool == 0 { "unbounded".into() } else { pool.to_string() },
+            ),
+            &pool,
+            |b, _| {
+                b.iter(|| {
+                    for key in &keys {
+                        store.get(key).unwrap().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -27,6 +27,7 @@ fn main() {
     e9();
     e10();
     e11();
+    e12();
     println!("\nreport complete.");
 }
 
@@ -453,4 +454,74 @@ fn e11() {
         stats.max_latency_ms
     );
     println!();
+}
+
+/// E12: the durable storage tier — cold open vs re-ingest.
+fn e12() {
+    use mirror_core::Retriever;
+    use monet::{MemFs, Store, StoreOptions};
+    println!("## E12 — durable storage tier (2k-doc corpus)\n");
+    let corpus = cluster_corpus(2_000, 42);
+    let node = cluster_node_config();
+
+    let mut db = MirrorDbms::new(node.clone());
+    db.ingest(&corpus).unwrap();
+    let want = db.query_text("sunset glow evening", 10).unwrap();
+    let t_ingest = median_time_ms(3, || {
+        let mut db = MirrorDbms::new(node.clone());
+        db.ingest(&corpus).unwrap();
+    });
+
+    // save + checkpoint into an in-memory disk image
+    let saved = MemFs::new();
+    let store = Store::open(Arc::new(saved.clone()), StoreOptions::default()).unwrap();
+    db.save_to(&store).unwrap();
+    store.checkpoint().unwrap();
+    drop(store);
+    let t_save = median_time_ms(3, || {
+        let fs = MemFs::new();
+        let store = Store::open(Arc::new(fs), StoreOptions::default()).unwrap();
+        db.save_to(&store).unwrap();
+        store.checkpoint().unwrap();
+    });
+    let t_open = median_time_ms(5, || {
+        let store = Store::open(Arc::new(saved.clone()), StoreOptions::default()).unwrap();
+        MirrorDbms::open_from(&store).unwrap();
+    });
+
+    let store = Store::open(Arc::new(saved.clone()), StoreOptions::default()).unwrap();
+    let reopened = MirrorDbms::open_from(&store).unwrap();
+    let identical = reopened.query_text("sunset glow evening", 10).unwrap() == want;
+    let speedup = t_ingest / t_open.max(1e-6);
+
+    println!("| path | time (ms) | store size (KiB) | results bit-identical |");
+    println!("|------|----------:|-----------------:|----------------------:|");
+    println!("| ingest from corpus | {t_ingest:.1} | — | — |");
+    println!("| save + checkpoint | {t_save:.1} | {} | — |", saved.total_bytes() / 1024);
+    println!("| cold open | {t_open:.1} | — | {identical} |");
+    println!("\ncold open is {speedup:.1}× faster than re-ingest (acceptance: ≥ 5×)\n");
+
+    // WAL-only durability: save without a checkpoint and replay the log
+    let wal_fs = MemFs::new();
+    let store = Store::open(Arc::new(wal_fs.clone()), StoreOptions::default()).unwrap();
+    db.save_to(&store).unwrap();
+    drop(store);
+    let t_replay = median_time_ms(3, || {
+        Store::open(Arc::new(wal_fs.clone()), StoreOptions::default()).unwrap();
+    });
+    let store = Store::open(Arc::new(wal_fs.clone()), StoreOptions::default()).unwrap();
+    let rec = store.recovery();
+    println!(
+        "WAL-only recovery: {} transactions / {} keys replayed in {:.1} ms \
+         ({} KiB of log); checkpointed pages make reopen {:.1}× cheaper\n",
+        rec.wal_transactions,
+        rec.wal_keys,
+        t_replay,
+        wal_fs.total_bytes() / 1024,
+        t_replay
+            / median_time_ms(3, || {
+                Store::open(Arc::new(saved.clone()), StoreOptions::default()).unwrap();
+            })
+            .max(1e-6),
+    );
 }

@@ -1,0 +1,725 @@
+//! Durable instances: save an ingested [`MirrorDbms`] (or a whole
+//! [`MirrorCluster`]) into the kernel's page-granular storage tier and
+//! cold-open it later without re-ingesting.
+//!
+//! ## What is persisted
+//!
+//! Ingest's expensive stages — segmentation, feature extraction,
+//! clustering — happen *before* the library rows exist, so the durable
+//! form is pixel-free:
+//!
+//! | key                | value                                           |
+//! |--------------------|-------------------------------------------------|
+//! | `meta/format`      | store format version + endianness sentinel      |
+//! | `meta/config`      | the [`MirrorConfig`]                            |
+//! | `meta/library`     | document count, row-batch count                 |
+//! | `rows/{i:06}`      | library rows, dictionary-encoded columnar batch |
+//! | `idx/annotation`   | serialised text-channel [`ir::InvertedIndex`]   |
+//! | `idx/image`        | serialised image-channel index                  |
+//! | `aux/vocab`        | the visual vocabulary (per-space models)        |
+//! | `aux/thesaurus`    | the association thesaurus entries               |
+//! | `meta/complete`    | save-completion marker — written **last**       |
+//!
+//! Each group is one WAL transaction; the completion marker commits
+//! last. A crash mid-save therefore leaves a store that *recovers* at
+//! the kernel level (the committed prefix replays, torn records are
+//! discarded) but reports [`RetrievalError::IncompleteState`] at this
+//! level — re-running the save writes the same keys and converges.
+//! After the marker a [`monet::Store::checkpoint`] folds the WAL into
+//! checksummed 4 KiB pages.
+//!
+//! ## Bit-identity
+//!
+//! `open` rebuilds the collection from the rows through the same
+//! deterministic path ingest used, then *overwrites* the CONTREP indexes
+//! with the serialised ones — so a reopened shard keeps its pinned
+//! global statistics and every reopened instance ranks bit-identically
+//! to the instance that saved. The crash-recovery suite asserts exactly
+//! that, for arbitrary injected crash points.
+
+use crate::retriever::{RetrievalError, RetrievalResult};
+use crate::shard::{ClusterConfig, MirrorCluster, Partitioning};
+use crate::{Clustering, DocMeta, LibraryRow, MirrorConfig, MirrorDbms, INTERNAL};
+use cluster::vocab::SpaceModel;
+use cluster::{KMeansResult, MixtureModel, VisualVocabulary};
+use ir::InvertedIndex;
+use monet::storage::{ByteReader, ByteWriter, ENDIAN_SENTINEL};
+use monet::{DiskFs, MonetError, Oid, StorageBackend, Store, StoreOptions};
+use std::path::Path;
+use std::sync::Arc;
+use thesaurus::{AssocMeasure, AssociationThesaurus};
+
+/// Version of the durable store layout this build reads and writes.
+pub const STORE_FORMAT: u32 = 1;
+
+/// Library rows per columnar batch.
+const BATCH: usize = 512;
+
+mod key {
+    pub const FORMAT: &str = "meta/format";
+    pub const CONFIG: &str = "meta/config";
+    pub const LIBRARY: &str = "meta/library";
+    pub const COMPLETE: &str = "meta/complete";
+    pub const IDX_ANNOTATION: &str = "idx/annotation";
+    pub const IDX_IMAGE: &str = "idx/image";
+    pub const VOCAB: &str = "aux/vocab";
+    pub const THESAURUS: &str = "aux/thesaurus";
+
+    pub fn rows(batch: usize) -> String {
+        format!("rows/{batch:06}")
+    }
+}
+
+fn corrupt(what: &str, detail: impl Into<String>) -> MonetError {
+    MonetError::Corrupt { what: what.to_string(), detail: detail.into() }
+}
+
+/// Read a required key, mapping absence to [`MonetError::Corrupt`] (the
+/// completion marker guaranteed it was written).
+fn must_get(store: &Store, key: &str) -> Result<Vec<u8>, MonetError> {
+    store.get(key)?.ok_or_else(|| corrupt(key, "key missing from a complete store"))
+}
+
+// ---------------------------------------------------------------------------
+// Value codecs
+// ---------------------------------------------------------------------------
+
+fn encode_format() -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(STORE_FORMAT);
+    w.u16(ENDIAN_SENTINEL);
+    w.into_bytes()
+}
+
+fn check_format(bytes: &[u8]) -> Result<(), MonetError> {
+    let mut r = ByteReader::new(bytes, key::FORMAT);
+    let found = r.u32()?;
+    if found != STORE_FORMAT {
+        return Err(MonetError::FormatVersion { found, expected: STORE_FORMAT });
+    }
+    let sentinel = r.u16()?;
+    if sentinel != ENDIAN_SENTINEL {
+        return Err(corrupt(
+            key::FORMAT,
+            format!("endianness sentinel {sentinel:#06x} — written with a different byte order"),
+        ));
+    }
+    Ok(())
+}
+
+fn encode_config(c: &MirrorConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(c.grid as u64);
+    match c.clustering {
+        Clustering::AutoClass => w.u8(0),
+        Clustering::KMeans(k) => {
+            w.u8(1);
+            w.u64(k as u64);
+        }
+    }
+    w.u8(match c.assoc {
+        AssocMeasure::Emim => 0,
+        AssocMeasure::ChiSquare => 1,
+        AssocMeasure::JointCount => 2,
+    });
+    w.u64(c.expand_per_term as u64);
+    w.u64(c.expand_max_terms as u64);
+    w.u8(c.keep_raw as u8);
+    w.u64(c.parallelism as u64);
+    w.u64(c.seed);
+    w.into_bytes()
+}
+
+fn decode_config(bytes: &[u8]) -> Result<MirrorConfig, MonetError> {
+    let mut r = ByteReader::new(bytes, key::CONFIG);
+    let grid = r.u64()? as usize;
+    let clustering = match r.u8()? {
+        0 => Clustering::AutoClass,
+        1 => Clustering::KMeans(r.u64()? as usize),
+        t => return Err(corrupt(key::CONFIG, format!("bad clustering tag {t}"))),
+    };
+    let assoc = match r.u8()? {
+        0 => AssocMeasure::Emim,
+        1 => AssocMeasure::ChiSquare,
+        2 => AssocMeasure::JointCount,
+        t => return Err(corrupt(key::CONFIG, format!("bad assoc tag {t}"))),
+    };
+    Ok(MirrorConfig {
+        grid,
+        clustering,
+        assoc,
+        expand_per_term: r.u64()? as usize,
+        expand_max_terms: r.u64()? as usize,
+        keep_raw: r.u8()? != 0,
+        parallelism: r.u64()? as usize,
+        seed: r.u64()?,
+    })
+}
+
+/// One columnar batch of library rows: each field is a kernel column, so
+/// URLs, annotations and visual-term strings land dictionary-encoded on
+/// disk exactly like every other string column.
+fn encode_rows(rows: &[LibraryRow]) -> Vec<u8> {
+    use monet::strdict::StrDictBuilder;
+    use monet::Column;
+    fn str_col(it: impl Iterator<Item = String>) -> Column {
+        let mut b = StrDictBuilder::new();
+        let codes: Vec<u32> = it.map(|s| b.intern(&s)).collect();
+        Column::Str(monet::column::StrCol { codes, dict: b.freeze() })
+    }
+    let mut w = ByteWriter::new();
+    w.u64(rows.len() as u64);
+    let cols = [
+        str_col(rows.iter().map(|r| r.url.clone())),
+        str_col(rows.iter().map(|r| r.annotation.clone().unwrap_or_default())),
+        Column::Int(rows.iter().map(|r| r.annotation.is_some() as i64).collect()),
+        str_col(rows.iter().map(|r| r.vterms.clone())),
+        Column::Int(rows.iter().map(|r| r.theme as i64).collect()),
+    ];
+    for col in &cols {
+        monet::storage::codec::write_column(&mut w, col);
+    }
+    w.into_bytes()
+}
+
+fn decode_rows(bytes: &[u8], what: &str) -> Result<Vec<LibraryRow>, MonetError> {
+    let mut r = ByteReader::new(bytes, "library rows");
+    let n = r.len64(bytes.len())?;
+    let mut cols = Vec::with_capacity(5);
+    for _ in 0..5 {
+        cols.push(monet::storage::codec::read_column(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt(what, "trailing bytes after columns"));
+    }
+    let str_at = |col: &monet::Column, i: usize| -> Result<String, MonetError> {
+        match col.get(i)? {
+            monet::Val::Str(s) => Ok(s),
+            other => Err(corrupt(what, format!("row {i}: expected string, got {other:?}"))),
+        }
+    };
+    let int_at = |col: &monet::Column, i: usize| -> Result<i64, MonetError> {
+        match col.get(i)? {
+            monet::Val::Int(v) => Ok(v),
+            other => Err(corrupt(what, format!("row {i}: expected int, got {other:?}"))),
+        }
+    };
+    if cols.iter().any(|c| c.len() != n) {
+        return Err(corrupt(what, "column lengths disagree with row count"));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let annotated = int_at(&cols[2], i)? != 0;
+        let ann_text = str_at(&cols[1], i)?;
+        rows.push(LibraryRow {
+            url: str_at(&cols[0], i)?,
+            annotation: annotated.then_some(ann_text),
+            vterms: str_at(&cols[3], i)?,
+            theme: int_at(&cols[4], i)? as usize,
+        });
+    }
+    Ok(rows)
+}
+
+fn write_f64s(w: &mut ByteWriter, v: &[f64]) {
+    w.u64(v.len() as u64);
+    for &x in v {
+        w.f64(x);
+    }
+}
+
+fn read_f64s(r: &mut ByteReader<'_>) -> Result<Vec<f64>, MonetError> {
+    let n = r.len64(r.remaining() / 8)?;
+    (0..n).map(|_| r.f64()).collect()
+}
+
+fn write_mat(w: &mut ByteWriter, m: &[Vec<f64>]) {
+    w.u64(m.len() as u64);
+    for row in m {
+        write_f64s(w, row);
+    }
+}
+
+fn read_mat(r: &mut ByteReader<'_>) -> Result<Vec<Vec<f64>>, MonetError> {
+    let n = r.len64(r.remaining() / 8)?;
+    (0..n).map(|_| read_f64s(r)).collect()
+}
+
+/// An optional vocabulary: presence byte, then per-space models in
+/// sorted space order (deterministic bytes — a redone save rewrites
+/// byte-identical values).
+fn encode_vocab(vocab: Option<&VisualVocabulary>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let Some(vocab) = vocab else {
+        w.u8(0);
+        return w.into_bytes();
+    };
+    w.u8(1);
+    let spaces = vocab.spaces();
+    w.u64(spaces.len() as u64);
+    for space in &spaces {
+        w.str(space);
+        match vocab.model(space).expect("space listed by vocab") {
+            SpaceModel::Mixture(m) => {
+                w.u8(0);
+                write_f64s(&mut w, &m.weights);
+                write_mat(&mut w, &m.means);
+                write_mat(&mut w, &m.variances);
+                w.f64(m.log_likelihood);
+                w.f64(m.bic);
+            }
+            SpaceModel::KMeans(k) => {
+                w.u8(1);
+                write_mat(&mut w, &k.centroids);
+                w.u64(k.assignment.len() as u64);
+                for &a in &k.assignment {
+                    w.u64(a as u64);
+                }
+                w.f64(k.inertia);
+                w.u64(k.iterations as u64);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_vocab(bytes: &[u8]) -> Result<Option<VisualVocabulary>, MonetError> {
+    let mut r = ByteReader::new(bytes, key::VOCAB);
+    if r.u8()? == 0 {
+        return Ok(None);
+    }
+    let n_spaces = r.len64(r.remaining())?;
+    let mut vocab = VisualVocabulary::new();
+    for _ in 0..n_spaces {
+        let space = r.str()?;
+        let model = match r.u8()? {
+            0 => SpaceModel::Mixture(MixtureModel {
+                weights: read_f64s(&mut r)?,
+                means: read_mat(&mut r)?,
+                variances: read_mat(&mut r)?,
+                log_likelihood: r.f64()?,
+                bic: r.f64()?,
+            }),
+            1 => {
+                let centroids = read_mat(&mut r)?;
+                let n = r.len64(r.remaining() / 8)?;
+                let assignment =
+                    (0..n).map(|_| r.u64().map(|v| v as usize)).collect::<Result<_, _>>()?;
+                SpaceModel::KMeans(KMeansResult {
+                    centroids,
+                    assignment,
+                    inertia: r.f64()?,
+                    iterations: r.u64()? as usize,
+                })
+            }
+            t => return Err(corrupt(key::VOCAB, format!("bad model tag {t}"))),
+        };
+        vocab.insert(space, model);
+    }
+    Ok(Some(vocab))
+}
+
+fn encode_thesaurus(th: Option<&AssociationThesaurus>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let Some(th) = th else {
+        w.u8(0);
+        return w.into_bytes();
+    };
+    w.u8(1);
+    w.u8(match th.measure() {
+        AssocMeasure::Emim => 0,
+        AssocMeasure::ChiSquare => 1,
+        AssocMeasure::JointCount => 2,
+    });
+    let entries = th.entries();
+    w.u64(entries.len() as u64);
+    for (t, v, s) in &entries {
+        w.str(t);
+        w.str(v);
+        w.f64(*s);
+    }
+    w.into_bytes()
+}
+
+fn decode_thesaurus(bytes: &[u8]) -> Result<Option<AssociationThesaurus>, MonetError> {
+    let mut r = ByteReader::new(bytes, key::THESAURUS);
+    if r.u8()? == 0 {
+        return Ok(None);
+    }
+    let measure = match r.u8()? {
+        0 => AssocMeasure::Emim,
+        1 => AssocMeasure::ChiSquare,
+        2 => AssocMeasure::JointCount,
+        t => return Err(corrupt(key::THESAURUS, format!("bad measure tag {t}"))),
+    };
+    let n = r.len64(r.remaining())?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push((r.str()?, r.str()?, r.f64()?));
+    }
+    Ok(Some(AssociationThesaurus::from_entries(measure, entries)))
+}
+
+/// Serialise an optional index with a presence byte.
+fn encode_index(idx: Option<&InvertedIndex>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match idx {
+        None => w.u8(0),
+        Some(idx) => {
+            w.u8(1);
+            w.bytes(&idx.to_bytes());
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_index(bytes: &[u8], what: &str) -> Result<Option<InvertedIndex>, MonetError> {
+    if bytes.is_empty() {
+        return Err(corrupt(what, "empty index value"));
+    }
+    match bytes[0] {
+        0 => Ok(None),
+        1 => InvertedIndex::from_bytes(&bytes[1..]).map(Some),
+        t => Err(corrupt(what, format!("bad presence byte {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MirrorDbms save / open
+// ---------------------------------------------------------------------------
+
+impl MirrorDbms {
+    /// Persist this instance into a durable store at `dir` (created if
+    /// needed) and checkpoint it into page files. See the module docs
+    /// for the layout and crash-safety discipline.
+    pub fn save(&self, dir: impl AsRef<Path>) -> RetrievalResult<()> {
+        let backend: Arc<dyn StorageBackend> = Arc::new(DiskFs::new(dir.as_ref())?);
+        let store = Store::open(backend, StoreOptions::default())?;
+        self.save_to(&store)?;
+        store.checkpoint()?;
+        Ok(())
+    }
+
+    /// Persist this instance into an already-open store. Every logical
+    /// group is one WAL transaction; the completion marker commits last,
+    /// so a crash at any point leaves either a complete save or a store
+    /// that reports [`RetrievalError::IncompleteState`] on open.
+    /// Re-running after a crash writes the same keys and converges.
+    /// (The caller decides when to [`monet::Store::checkpoint`].)
+    pub fn save_to(&self, store: &Store) -> RetrievalResult<()> {
+        store.put(key::FORMAT, encode_format());
+        store.put(key::CONFIG, encode_config(self.config()));
+        store.commit()?;
+
+        let rows = self.library_rows();
+        let n_batches = rows.len().div_ceil(BATCH);
+        for (i, chunk) in rows.chunks(BATCH).enumerate() {
+            store.put(key::rows(i), encode_rows(chunk));
+            store.commit()?;
+        }
+
+        let ann = self.store().get(&format!("{INTERNAL}__annotation"));
+        let img = self.store().get(&format!("{INTERNAL}__image"));
+        store.put(key::IDX_ANNOTATION, encode_index(ann.as_deref()));
+        store.put(key::IDX_IMAGE, encode_index(img.as_deref()));
+        store.commit()?;
+
+        store.put(key::VOCAB, encode_vocab(self.vocabulary()));
+        store.put(key::THESAURUS, encode_thesaurus(self.thesaurus()));
+        store.commit()?;
+
+        let mut lib = ByteWriter::new();
+        lib.u64(rows.len() as u64);
+        lib.u64(n_batches as u64);
+        store.put(key::LIBRARY, lib.into_bytes());
+        let mut done = ByteWriter::new();
+        done.u8(1);
+        store.put(key::COMPLETE, done.into_bytes());
+        store.commit()?;
+        Ok(())
+    }
+
+    /// Cold-open a persisted instance from `dir` without re-ingest:
+    /// kernel-level recovery (newest valid checkpoint + WAL replay) runs
+    /// first, then the instance is rebuilt from the stored rows and the
+    /// serialised indexes. Ranks bit-identically to the saved instance.
+    pub fn open(dir: impl AsRef<Path>) -> RetrievalResult<Self> {
+        let backend: Arc<dyn StorageBackend> = Arc::new(DiskFs::new(dir.as_ref())?);
+        Self::open_from(&Store::open(backend, StoreOptions::default())?)
+    }
+
+    /// Rebuild an instance from an already-open (recovered) store.
+    pub fn open_from(store: &Store) -> RetrievalResult<Self> {
+        match store.get(key::COMPLETE)? {
+            Some(_) => {}
+            None => {
+                return Err(RetrievalError::IncompleteState {
+                    detail: format!(
+                        "no completion marker; {} keys recovered ({} WAL transactions) — \
+                         the save never finished, re-run it",
+                        store.keys().len(),
+                        store.recovery().wal_transactions,
+                    ),
+                })
+            }
+        }
+        check_format(&must_get(store, key::FORMAT)?)?;
+        let config = decode_config(&must_get(store, key::CONFIG)?)?;
+        let (n_docs, n_batches) = {
+            let bytes = must_get(store, key::LIBRARY)?;
+            let mut r = ByteReader::new(&bytes, key::LIBRARY);
+            (r.u64()? as usize, r.u64()? as usize)
+        };
+        let mut rows = Vec::with_capacity(n_docs);
+        for i in 0..n_batches {
+            let k = key::rows(i);
+            rows.extend(decode_rows(&must_get(store, &k)?, &k)?);
+        }
+        if rows.len() != n_docs {
+            return Err(RetrievalError::Storage(corrupt(
+                key::LIBRARY,
+                format!("{} rows decoded, library metadata says {n_docs}", rows.len()),
+            )));
+        }
+
+        let mut db = MirrorDbms::new(config);
+        db.load_library_rows(rows)?;
+        // overwrite the deterministically rebuilt indexes with the saved
+        // ones: identical for a self-contained node, and required for a
+        // shard, whose indexes pin the parent collection's statistics
+        let ann_key = format!("{INTERNAL}__annotation");
+        let img_key = format!("{INTERNAL}__image");
+        if let Some(idx) =
+            decode_index(&must_get(store, key::IDX_ANNOTATION)?, key::IDX_ANNOTATION)?
+        {
+            db.store().insert(ann_key, idx);
+        }
+        if let Some(idx) = decode_index(&must_get(store, key::IDX_IMAGE)?, key::IDX_IMAGE)? {
+            db.store().insert(img_key, idx);
+        }
+        let vocab = decode_vocab(&must_get(store, key::VOCAB)?)?;
+        let thesaurus = decode_thesaurus(&must_get(store, key::THESAURUS)?)?;
+        if let (Some(v), Some(t)) = (vocab, thesaurus) {
+            db.set_ingest_outputs(v, t);
+        }
+        Ok(db)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MirrorCluster save / open
+// ---------------------------------------------------------------------------
+
+mod cluster_key {
+    pub const FORMAT: &str = "meta/format";
+    pub const CONFIG: &str = "meta/cluster";
+    pub const LAYOUT: &str = "meta/layout";
+    pub const COMPLETE: &str = "meta/complete";
+}
+
+fn encode_cluster_config(c: &ClusterConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(c.shards as u64);
+    w.u64(c.replicas as u64);
+    w.u8(match c.partitioning {
+        Partitioning::Hash => 0,
+        Partitioning::Content => 1,
+    });
+    w.bytes(&encode_config(&c.node));
+    w.into_bytes()
+}
+
+fn decode_cluster_config(bytes: &[u8]) -> Result<ClusterConfig, MonetError> {
+    let mut r = ByteReader::new(bytes, cluster_key::CONFIG);
+    let shards = r.u64()? as usize;
+    let replicas = r.u64()? as usize;
+    let partitioning = match r.u8()? {
+        0 => Partitioning::Hash,
+        1 => Partitioning::Content,
+        t => return Err(corrupt(cluster_key::CONFIG, format!("bad partitioning tag {t}"))),
+    };
+    let node = decode_config(r.take(r.remaining())?)?;
+    Ok(ClusterConfig { shards, replicas, partitioning, node })
+}
+
+/// Layout: per shard the ascending global doc ids, plus the global
+/// per-document metadata.
+fn encode_layout(global_ids: &[Vec<Oid>], docs: &[DocMeta]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(global_ids.len() as u64);
+    for ids in global_ids {
+        w.u64(ids.len() as u64);
+        for &id in ids {
+            w.u32(id);
+        }
+    }
+    w.u64(docs.len() as u64);
+    for d in docs {
+        w.str(&d.url);
+        w.u8(d.annotated as u8);
+        w.u64(d.theme as u64);
+    }
+    w.into_bytes()
+}
+
+type Layout = (Vec<Vec<Oid>>, Vec<DocMeta>);
+
+fn decode_layout(bytes: &[u8]) -> Result<Layout, MonetError> {
+    let mut r = ByteReader::new(bytes, cluster_key::LAYOUT);
+    let n_shards = r.len64(r.remaining())?;
+    let mut global_ids = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let n = r.len64(r.remaining() / 4)?;
+        let ids: Vec<Oid> = (0..n).map(|_| r.u32()).collect::<Result<_, _>>()?;
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt(cluster_key::LAYOUT, "shard doc ids not strictly ascending"));
+        }
+        global_ids.push(ids);
+    }
+    let n_docs = r.len64(r.remaining())?;
+    let mut docs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        docs.push(DocMeta { url: r.str()?, annotated: r.u8()? != 0, theme: r.u64()? as usize });
+    }
+    Ok((global_ids, docs))
+}
+
+impl MirrorCluster {
+    /// Persist the whole cluster under `dir`: the layout and
+    /// configuration in `dir/cluster`, and each shard as an independent
+    /// durable store in `dir/shard-{i:03}` — a shard directory is a
+    /// complete store of its own (rows, statistics-pinned indexes,
+    /// vocabulary, thesaurus) that any node can open without the others.
+    pub fn save(&self, dir: impl AsRef<Path>) -> RetrievalResult<()> {
+        let dir = dir.as_ref();
+        for (i, node) in self.nodes().iter().enumerate() {
+            node.save(dir.join(format!("shard-{i:03}")))?;
+        }
+        let backend: Arc<dyn StorageBackend> = Arc::new(DiskFs::new(dir.join("cluster"))?);
+        let store = Store::open(backend, StoreOptions::default())?;
+        store.put(cluster_key::FORMAT, encode_format());
+        store.put(cluster_key::CONFIG, encode_cluster_config(self.config()));
+        store.put(cluster_key::LAYOUT, encode_layout(self.global_ids(), self.docs()));
+        store.commit()?;
+        let mut done = ByteWriter::new();
+        done.u8(1);
+        store.put(cluster_key::COMPLETE, done.into_bytes());
+        store.commit()?;
+        store.checkpoint()?;
+        Ok(())
+    }
+
+    /// Cold-open a persisted cluster from `dir`: shards reopen
+    /// independently (each runs its own kernel-level recovery) and are
+    /// stood back up behind fresh replica routers. Rankings are
+    /// bit-identical to the cluster that saved.
+    pub fn open(dir: impl AsRef<Path>) -> RetrievalResult<Self> {
+        let dir = dir.as_ref();
+        let backend: Arc<dyn StorageBackend> = Arc::new(DiskFs::new(dir.join("cluster"))?);
+        let store = Store::open(backend, StoreOptions::default())?;
+        if store.get(cluster_key::COMPLETE)?.is_none() {
+            return Err(RetrievalError::IncompleteState {
+                detail: "cluster store has no completion marker — the save never finished".into(),
+            });
+        }
+        check_format(&must_get(&store, cluster_key::FORMAT)?)?;
+        let config = decode_cluster_config(&must_get(&store, cluster_key::CONFIG)?)?;
+        let (global_ids, docs) = decode_layout(&must_get(&store, cluster_key::LAYOUT)?)?;
+        if global_ids.len() != config.shards {
+            return Err(RetrievalError::Storage(corrupt(
+                cluster_key::LAYOUT,
+                format!("{} shard lists for {} shards", global_ids.len(), config.shards),
+            )));
+        }
+        let mut nodes = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let node =
+                MirrorDbms::open(dir.join(format!("shard-{i:03}"))).map_err(|e| match e {
+                    RetrievalError::IncompleteState { detail } => {
+                        RetrievalError::IncompleteState { detail: format!("shard {i}: {detail}") }
+                    }
+                    other => other,
+                })?;
+            nodes.push(Arc::new(node));
+        }
+        Ok(MirrorCluster::from_parts(config, nodes, global_ids, docs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_codec_roundtrip() {
+        for cfg in [
+            MirrorConfig::default(),
+            MirrorConfig {
+                grid: 5,
+                clustering: Clustering::KMeans(7),
+                assoc: AssocMeasure::ChiSquare,
+                expand_per_term: 2,
+                expand_max_terms: 3,
+                keep_raw: true,
+                parallelism: 4,
+                seed: 99,
+            },
+        ] {
+            let back = decode_config(&encode_config(&cfg)).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{cfg:?}"));
+        }
+    }
+
+    #[test]
+    fn rows_codec_roundtrip() {
+        let rows = vec![
+            LibraryRow {
+                url: "http://a/1".into(),
+                annotation: Some("sunset over the sea".into()),
+                vterms: "rgb_0 gabor_2".into(),
+                theme: 3,
+            },
+            LibraryRow {
+                url: "http://a/2".into(),
+                annotation: None,
+                vterms: "rgb_1".into(),
+                theme: 0,
+            },
+            LibraryRow {
+                url: "http://a/3".into(),
+                annotation: Some(String::new()), // annotated but empty
+                vterms: String::new(),
+                theme: 7,
+            },
+        ];
+        let back = decode_rows(&encode_rows(&rows), "test").unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn empty_vocab_and_thesaurus_roundtrip_as_none() {
+        assert!(decode_vocab(&encode_vocab(None)).unwrap().is_none());
+        assert!(decode_thesaurus(&encode_thesaurus(None)).unwrap().is_none());
+    }
+
+    #[test]
+    fn format_check_rejects_other_versions() {
+        let mut w = ByteWriter::new();
+        w.u32(STORE_FORMAT + 1);
+        w.u16(ENDIAN_SENTINEL);
+        assert_eq!(
+            check_format(&w.into_bytes()).unwrap_err(),
+            MonetError::FormatVersion { found: STORE_FORMAT + 1, expected: STORE_FORMAT }
+        );
+    }
+
+    #[test]
+    fn truncated_rows_batch_is_corrupt() {
+        let rows =
+            vec![LibraryRow { url: "u".into(), annotation: None, vterms: "v".into(), theme: 1 }];
+        let bytes = encode_rows(&rows);
+        for cut in [0, 4, bytes.len() - 1] {
+            assert!(decode_rows(&bytes[..cut], "t").is_err(), "cut {cut}");
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! extractor — proving the metadata database is just another party on the
 //! bus.
 
-use crate::{Clustering, DocMeta, MirrorDbms, INTERNAL};
+use crate::{Clustering, DocMeta, LibraryRow, MirrorDbms, INTERNAL};
 use cluster::{AutoClass, AutoClassConfig, VisualVocabulary, VocabularyBuilder};
 use daemon::{
     DaemonRuntime, FeatureDaemon, Message, SegmenterDaemon, SegmenterKind, TOPIC_CRAWLED,
@@ -167,6 +167,26 @@ impl MirrorDbms {
         visual_docs: &[Vec<String>],
     ) -> moa::Result<()> {
         debug_assert_eq!(corpus.len(), visual_docs.len());
+        let rows: Vec<LibraryRow> = corpus
+            .iter()
+            .zip(visual_docs)
+            .map(|(c, vterms)| LibraryRow {
+                url: c.url.clone(),
+                annotation: c.annotation.clone(),
+                vterms: vterms.join(" "),
+                theme: c.theme,
+            })
+            .collect();
+        self.load_library_rows(rows)
+    }
+
+    /// Load (or reload) `ImageLibraryInternal` from already-extracted
+    /// library rows — the pixel-free form the durable storage tier
+    /// persists. The collection, its CONTREP indexes and the per-document
+    /// metadata are rebuilt deterministically from the rows; a cold
+    /// [`crate::durable`] open goes through this exact path, so a
+    /// reopened instance is state-identical to the instance that saved.
+    pub(crate) fn load_library_rows(&mut self, rows: Vec<LibraryRow>) -> moa::Result<()> {
         let (name, ty) = parse_define(
             "define ImageLibraryInternal as
                SET< TUPLE<
@@ -175,26 +195,26 @@ impl MirrorDbms {
                  CONTREP<Image>: image >>;",
         )?;
         debug_assert_eq!(name, INTERNAL);
-        let rows: Vec<MoaVal> = corpus
+        let moa_rows: Vec<MoaVal> = rows
             .iter()
-            .zip(visual_docs)
-            .map(|(c, vterms)| {
+            .map(|r| {
                 MoaVal::Tuple(vec![
-                    MoaVal::Str(c.url.clone()),
-                    c.annotation.clone().map_or(MoaVal::Null, MoaVal::Str),
-                    MoaVal::Str(vterms.join(" ")),
+                    MoaVal::Str(r.url.clone()),
+                    r.annotation.clone().map_or(MoaVal::Null, MoaVal::Str),
+                    MoaVal::Str(r.vterms.clone()),
                 ])
             })
             .collect();
-        self.env().create_collection(name, ty, rows)?;
-        self.docs = corpus
+        self.env().create_collection(name, ty, moa_rows)?;
+        self.docs = rows
             .iter()
-            .map(|c| DocMeta {
-                url: c.url.clone(),
-                annotated: c.annotation.is_some(),
-                theme: c.theme,
+            .map(|r| DocMeta {
+                url: r.url.clone(),
+                annotated: r.annotation.is_some(),
+                theme: r.theme,
             })
             .collect();
+        self.lib_rows = rows;
         Ok(())
     }
 

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod eval;
 pub mod feedback;
 pub mod ingest;
@@ -106,6 +107,23 @@ pub struct DocMeta {
     pub theme: usize,
 }
 
+/// One row of `ImageLibraryInternal` in its ingested (post-extraction)
+/// form: everything needed to rebuild the internal collection *without*
+/// the original pixels. This is the unit the durable storage tier
+/// persists — a cold [`MirrorDbms::open`] reloads these rows instead of
+/// re-crawling, re-segmenting and re-clustering the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryRow {
+    /// Source URL.
+    pub url: String,
+    /// Raw annotation text (`None` for unannotated documents).
+    pub annotation: Option<String>,
+    /// Space-separated visual terms of all the document's segments.
+    pub vterms: String,
+    /// Ground-truth theme index (evaluation only).
+    pub theme: usize,
+}
+
 /// The assembled Mirror DBMS.
 pub struct MirrorDbms {
     env: Arc<Env>,
@@ -115,6 +133,10 @@ pub struct MirrorDbms {
     vocab: Option<VisualVocabulary>,
     thesaurus: Option<AssociationThesaurus>,
     docs: Vec<DocMeta>,
+    /// The ingested library rows (URL, annotation, visual terms, theme) —
+    /// the durable form of the collection, retained so [`durable`] can
+    /// persist the instance without the original images.
+    lib_rows: Vec<LibraryRow>,
 }
 
 /// Name of the internal collection built by ingest (the paper's
@@ -130,7 +152,16 @@ impl MirrorDbms {
         let env = Arc::new(env);
         let opt = OptConfig { parallelism: config.parallelism, ..OptConfig::default() };
         let engine = MoaEngine::with_opt(Arc::clone(&env), opt);
-        MirrorDbms { env, store, engine, config, vocab: None, thesaurus: None, docs: Vec::new() }
+        MirrorDbms {
+            env,
+            store,
+            engine,
+            config,
+            vocab: None,
+            thesaurus: None,
+            docs: Vec::new(),
+            lib_rows: Vec::new(),
+        }
     }
 
     /// Create with default configuration.
@@ -176,6 +207,12 @@ impl MirrorDbms {
     /// Document metadata in oid order.
     pub fn docs(&self) -> &[DocMeta] {
         &self.docs
+    }
+
+    /// The ingested library rows in oid order (empty before ingest) —
+    /// what the durable storage tier persists and reloads.
+    pub fn library_rows(&self) -> &[LibraryRow] {
+        &self.lib_rows
     }
 
     /// Number of ingested documents.

@@ -39,6 +39,18 @@ pub enum RetrievalError {
     /// The request failed to compile or execute in the algebra layers.
     /// Not retryable for the same reason.
     Compile(MoaError),
+    /// The durable storage tier failed: an I/O error, a checksum-rejected
+    /// page, or a format-version mismatch. Carries the kernel error so
+    /// callers can distinguish corruption from plain I/O.
+    Storage(monet::MonetError),
+    /// A durable store exists but its save never completed (the process
+    /// died mid-save and the completion marker is absent). The store is
+    /// openable at the kernel level — re-running the save will converge —
+    /// but there is no consistent instance to serve queries from.
+    IncompleteState {
+        /// What was found (and what was missing).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RetrievalError {
@@ -49,6 +61,10 @@ impl std::fmt::Display for RetrievalError {
             }
             RetrievalError::BadFilter(m) => write!(f, "bad filter: {m}"),
             RetrievalError::Compile(e) => write!(f, "query failed: {e}"),
+            RetrievalError::Storage(e) => write!(f, "storage failure: {e}"),
+            RetrievalError::IncompleteState { detail } => {
+                write!(f, "durable store is incomplete: {detail}")
+            }
         }
     }
 }
@@ -57,6 +73,7 @@ impl std::error::Error for RetrievalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RetrievalError::Compile(e) => Some(e),
+            RetrievalError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -65,6 +82,12 @@ impl std::error::Error for RetrievalError {
 impl From<MoaError> for RetrievalError {
     fn from(e: MoaError) -> Self {
         RetrievalError::Compile(e)
+    }
+}
+
+impl From<monet::MonetError> for RetrievalError {
+    fn from(e: monet::MonetError) -> Self {
+        RetrievalError::Storage(e)
     }
 }
 

@@ -112,6 +112,9 @@ pub fn hash_shard(url: &str, shards: usize) -> usize {
 pub struct MirrorCluster {
     config: ClusterConfig,
     routers: Vec<ReplicaRouter<MirrorDbms>>,
+    /// The shard snapshots behind the routers (replicas share one
+    /// snapshot) — kept so the durable layer can persist each shard.
+    nodes: Vec<Arc<MirrorDbms>>,
     /// Per shard: local oid → global oid (strictly ascending).
     global_ids: Vec<Vec<Oid>>,
     /// Global per-document metadata in global oid order.
@@ -158,6 +161,7 @@ impl MirrorCluster {
         // indexes swapped for statistics-pinned projections of the global
         // ones, and the shared vocabulary/thesaurus cloned in.
         let mut routers = Vec::with_capacity(config.shards);
+        let mut nodes = Vec::with_capacity(config.shards);
         for (shard, docs) in global_ids.iter().enumerate() {
             let mut node = MirrorDbms::new(config.node.clone());
             let sub_corpus: Vec<CrawledImage> =
@@ -171,6 +175,7 @@ impl MirrorCluster {
             let snapshot = Arc::new(node);
             let backends = (0..config.replicas).map(|_| Arc::clone(&snapshot)).collect();
             routers.push(ReplicaRouter::new(shard, backends));
+            nodes.push(snapshot);
         }
 
         let docs = corpus
@@ -181,7 +186,43 @@ impl MirrorCluster {
                 theme: c.theme,
             })
             .collect();
-        Ok(MirrorCluster { config, routers, global_ids, docs })
+        Ok(MirrorCluster { config, routers, nodes, global_ids, docs })
+    }
+
+    /// Assemble a cluster from already-built shard nodes — the durable
+    /// layer's reopen path. `global_ids` must partition `0..docs.len()`
+    /// into strictly ascending per-shard lists matching each node's local
+    /// document order.
+    pub(crate) fn from_parts(
+        config: ClusterConfig,
+        nodes: Vec<Arc<MirrorDbms>>,
+        global_ids: Vec<Vec<Oid>>,
+        docs: Vec<DocMeta>,
+    ) -> Self {
+        let routers = nodes
+            .iter()
+            .enumerate()
+            .map(|(shard, node)| {
+                let backends = (0..config.replicas).map(|_| Arc::clone(node)).collect();
+                ReplicaRouter::new(shard, backends)
+            })
+            .collect();
+        MirrorCluster { config, routers, nodes, global_ids, docs }
+    }
+
+    /// The shard snapshots, in shard order (replicas share a snapshot).
+    pub(crate) fn nodes(&self) -> &[Arc<MirrorDbms>] {
+        &self.nodes
+    }
+
+    /// All per-shard global-id lists — the durable layer persists these.
+    pub(crate) fn global_ids(&self) -> &[Vec<Oid>] {
+        &self.global_ids
+    }
+
+    /// Global per-document metadata in global oid order.
+    pub fn docs(&self) -> &[DocMeta] {
+        &self.docs
     }
 
     /// Number of shards.

@@ -212,6 +212,109 @@ impl InvertedIndex {
             Bat::dense(Column::Int(self.doc_len.iter().map(|&l| l as i64).collect())),
         );
     }
+
+    /// Serialise the whole index — dictionary, postings, statistics and
+    /// any pinned parent statistics — into a self-contained byte blob
+    /// (the storage tier's little-endian codec). Shard projections stay
+    /// projections across a save/open cycle: the pinned global
+    /// statistics travel with the blob, so a reopened shard ranks
+    /// bit-identically to the original.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = monet::storage::ByteWriter::new();
+        w.u64(self.dict.len() as u64);
+        for (_, term) in self.dict.iter() {
+            w.str(term);
+        }
+        for tid in 0..self.dict.len() {
+            let posts = &self.postings[tid];
+            w.u64(posts.len() as u64);
+            for p in posts {
+                w.u32(p.doc);
+                w.u32(p.tf);
+            }
+            w.u32(self.df[tid]);
+            w.u64(self.cf[tid]);
+            w.u32(self.max_tf[tid]);
+        }
+        w.u64(self.doc_len.len() as u64);
+        for &dl in &self.doc_len {
+            w.u32(dl);
+        }
+        match &self.pinned_stats {
+            None => w.u8(0),
+            Some(s) => {
+                w.u8(1);
+                w.u64(s.n_docs as u64);
+                w.u64(s.n_terms as u64);
+                w.f64(s.avg_dl);
+                w.u64(s.total_tokens);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode an index serialised by [`to_bytes`](Self::to_bytes).
+    /// Every length is validated before allocation; torn or corrupted
+    /// blobs come back as [`monet::MonetError::Corrupt`].
+    pub fn from_bytes(bytes: &[u8]) -> monet::Result<InvertedIndex> {
+        let mut r = monet::storage::ByteReader::new(bytes, "inverted index");
+        let corrupt = |detail: String| monet::MonetError::Corrupt {
+            what: "inverted index".to_string(),
+            detail,
+        };
+        let n_terms = r.len64(r.remaining())?;
+        let mut dict = TermDict::new();
+        for _ in 0..n_terms {
+            dict.intern(&r.str()?);
+        }
+        if dict.len() != n_terms {
+            return Err(corrupt("duplicate terms in serialised dictionary".into()));
+        }
+        let mut postings = Vec::with_capacity(n_terms);
+        let mut df = Vec::with_capacity(n_terms);
+        let mut cf = Vec::with_capacity(n_terms);
+        let mut max_tf = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let n_posts = r.len64(r.remaining() / 8)?;
+            let mut posts = Vec::with_capacity(n_posts);
+            for _ in 0..n_posts {
+                let doc = r.u32()?;
+                let tf = r.u32()?;
+                posts.push(Posting { doc, tf });
+            }
+            postings.push(posts);
+            df.push(r.u32()?);
+            cf.push(r.u64()?);
+            max_tf.push(r.u32()?);
+        }
+        let n_docs = r.len64(r.remaining() / 4)?;
+        let mut doc_len = Vec::with_capacity(n_docs);
+        for _ in 0..n_docs {
+            doc_len.push(r.u32()?);
+        }
+        let pinned_stats = match r.u8()? {
+            0 => None,
+            1 => Some(CollectionStats {
+                n_docs: r.u64()? as usize,
+                n_terms: r.u64()? as usize,
+                avg_dl: r.f64()?,
+                total_tokens: r.u64()?,
+            }),
+            other => return Err(corrupt(format!("bad pinned-stats marker {other}"))),
+        };
+        if !r.is_exhausted() {
+            return Err(corrupt(format!("{} trailing bytes", r.remaining())));
+        }
+        for posts in &postings {
+            if let Some(p) = posts.iter().find(|p| p.doc as usize >= n_docs) {
+                return Err(corrupt(format!(
+                    "posting references doc {} outside collection of {n_docs}",
+                    p.doc
+                )));
+            }
+        }
+        Ok(InvertedIndex { dict, postings, df, cf, max_tf, doc_len, pinned_stats })
+    }
 }
 
 /// Incremental index builder.
@@ -419,5 +522,58 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn shard_projection_rejects_unsorted_docs() {
         small_index().shard_projection(&[2, 1]);
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_everything() {
+        let idx = small_index();
+        let back = InvertedIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.n_docs(), idx.n_docs());
+        assert_eq!(back.stats(), idx.stats());
+        for term in ["sunset", "beach", "forest", "mist"] {
+            assert_eq!(back.postings(term), idx.postings(term), "{term}");
+            assert_eq!(back.df(term), idx.df(term));
+            assert_eq!(back.cf(term), idx.cf(term));
+            assert_eq!(back.max_tf(term), idx.max_tf(term));
+        }
+        for d in 0..idx.n_docs() as Oid {
+            assert_eq!(back.doc_len(d), idx.doc_len(d));
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_keeps_pinned_shard_stats() {
+        let idx = small_index();
+        let shard = idx.shard_projection(&[1, 3]);
+        let back = InvertedIndex::from_bytes(&shard.to_bytes()).unwrap();
+        // the reopened shard still ranks with the parent's statistics
+        assert_eq!(back.stats(), idx.stats());
+        assert_eq!(back.n_docs(), 2);
+        assert_eq!(back.postings("forest"), shard.postings("forest"));
+    }
+
+    #[test]
+    fn truncated_or_flipped_blob_is_typed_corrupt() {
+        let bytes = small_index().to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(InvertedIndex::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // a posting pointing outside the collection is rejected
+        let shard = small_index().shard_projection(&[0]);
+        let mut blob = shard.to_bytes();
+        // flip high bits somewhere in the postings region; either the
+        // decode fails structurally or the range check rejects it —
+        // silence is the only wrong answer
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xFF;
+        if let Ok(back) = InvertedIndex::from_bytes(&blob) {
+            // decode may survive a flip in, say, a tf value — but doc
+            // references must still be in range
+            for tid in 0..back.dict().len() as u32 {
+                for p in back.postings_by_id(tid) {
+                    assert!((p.doc as usize) < back.n_docs());
+                }
+            }
+        }
     }
 }

@@ -44,6 +44,27 @@ pub enum MonetError {
     },
     /// A value could not be interpreted in the required domain.
     BadValue(String),
+    /// An I/O operation in the storage backend failed (or a fault was
+    /// injected there by a test backend).
+    Io(String),
+    /// A persisted file declares a format version this build does not
+    /// speak. Raised *before* any payload is decoded, so a version skew
+    /// can never be misread as data.
+    FormatVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// On-disk bytes failed validation: a checksum mismatch, bad magic, a
+    /// torn structure, or an out-of-range reference. Corrupt data is
+    /// reported through this variant and never silently served.
+    Corrupt {
+        /// What was being read (file, page, record …).
+        what: String,
+        /// Why it was rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MonetError {
@@ -64,6 +85,13 @@ impl fmt::Display for MonetError {
                 write!(f, "index {index} out of bounds for column of length {len}")
             }
             MonetError::BadValue(msg) => write!(f, "bad value: {msg}"),
+            MonetError::Io(msg) => write!(f, "storage i/o: {msg}"),
+            MonetError::FormatVersion { found, expected } => {
+                write!(f, "unsupported format version {found} (this build reads {expected})")
+            }
+            MonetError::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
         }
     }
 }

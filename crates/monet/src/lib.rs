@@ -28,7 +28,12 @@
 //!   ([`fragment`]): `select`, `join` (probe side), aggregates and
 //!   projection split into oid-range fragments that run on scoped threads
 //!   and merge value-identically to the serial path — the
-//!   [`ParallelExecutor`] scales whole plans across cores.
+//!   [`ParallelExecutor`] scales whole plans across cores;
+//! * a durable storage tier ([`storage`]): checksummed 4 KiB columnar
+//!   pages behind a clock-eviction buffer pool, a write-ahead log with
+//!   recovery-on-open, shadow-generation checkpoints, and a
+//!   [`StorageBackend`] trait with disk, in-memory and fault-injecting
+//!   implementations so crash consistency is a tested property.
 //!
 //! Set-at-a-time execution over these operators is what the paper calls
 //! "design for scalability"; the Moa layer (crate `mirror-moa`) flattens
@@ -53,6 +58,7 @@ pub mod props;
 pub mod select;
 pub mod setops;
 pub mod sort;
+pub mod storage;
 pub mod strdict;
 pub mod value;
 
@@ -65,5 +71,9 @@ pub use ext::{OpCtx, OpRegistry};
 pub use fragment::ParallelExecutor;
 pub use plan::{ArithOp, ExecStats, Executor, NodeTrace, Plan, Pred};
 pub use props::Props;
+pub use storage::{
+    BufferPool, DiskFs, FaultFs, FaultPlan, MemFs, RecoveryReport, StorageBackend, Store,
+    StoreOptions,
+};
 pub use strdict::StrDict;
 pub use value::{MonetType, Oid, Val};

@@ -1,140 +1,96 @@
 //! Catalog persistence — Monet's disk-resident BATs.
 //!
-//! A simple, dependency-free binary format: one file per BAT plus a
-//! manifest. Columns serialise as a type tag, a length, and the raw
-//! values; dictionaries are re-interned on load. Good enough to snapshot
-//! and restore a library between sessions (crash-consistency is out of
-//! scope, as it was for the research prototype).
+//! One file per BAT plus a manifest, written through the storage tier's
+//! shared codec ([`crate::storage::codec`]). Format **v2**:
+//!
+//! ```text
+//! [7B magic "MIRRBAT"][u8 version = 2][u16 endian sentinel 0xFEFF]
+//! [head column][tail column][u64 checksum over both columns]
+//! ```
+//!
+//! Columns serialise as a type tag, a length, and the values; string
+//! dictionaries stay deduplicated on disk and are re-interned on load.
+//! A file carrying any other version — including the legacy `MIRRBAT1`
+//! v1 snapshots — is rejected with a typed
+//! [`MonetError::FormatVersion`] *before* any payload is decoded, a
+//! byte-swapped file trips the endianness sentinel, and a bit-flipped
+//! payload fails the trailing checksum: garbage is never decoded into a
+//! BAT.
+//!
+//! For page-granular durability with WAL recovery (what `MirrorDbms`
+//! uses for `open()`), see [`crate::storage`]; this module remains the
+//! simple whole-BAT snapshot path.
 
 use crate::bat::Bat;
 use crate::catalog::Catalog;
-use crate::column::{Column, StrCol};
 use crate::error::{MonetError, Result};
-use crate::strdict::StrDictBuilder;
-use std::io::{Read, Write};
+use crate::storage::codec::{
+    checksum64, read_column, write_column, ByteReader, ByteWriter, ENDIAN_SENTINEL,
+};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"MIRRBAT1";
+const MAGIC: &[u8; 7] = b"MIRRBAT";
+/// On-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u8 = 2;
 
 fn io_err(e: std::io::Error) -> MonetError {
-    MonetError::BadValue(format!("io: {e}"))
+    MonetError::Io(e.to_string())
 }
 
-/// Serialise one column into `out`.
-fn write_column(out: &mut impl Write, c: &Column) -> Result<()> {
-    match c {
-        Column::Void { start, len } => {
-            out.write_all(&[0u8]).map_err(io_err)?;
-            out.write_all(&start.to_le_bytes()).map_err(io_err)?;
-            out.write_all(&(*len as u64).to_le_bytes()).map_err(io_err)?;
-        }
-        Column::Oid(v) => {
-            out.write_all(&[1u8]).map_err(io_err)?;
-            out.write_all(&(v.len() as u64).to_le_bytes()).map_err(io_err)?;
-            for x in v {
-                out.write_all(&x.to_le_bytes()).map_err(io_err)?;
-            }
-        }
-        Column::Int(v) => {
-            out.write_all(&[2u8]).map_err(io_err)?;
-            out.write_all(&(v.len() as u64).to_le_bytes()).map_err(io_err)?;
-            for x in v {
-                out.write_all(&x.to_le_bytes()).map_err(io_err)?;
-            }
-        }
-        Column::Float(v) => {
-            out.write_all(&[3u8]).map_err(io_err)?;
-            out.write_all(&(v.len() as u64).to_le_bytes()).map_err(io_err)?;
-            for x in v {
-                out.write_all(&x.to_bits().to_le_bytes()).map_err(io_err)?;
-            }
-        }
-        Column::Str(s) => {
-            out.write_all(&[4u8]).map_err(io_err)?;
-            out.write_all(&(s.codes.len() as u64).to_le_bytes()).map_err(io_err)?;
-            for x in &s.codes {
-                out.write_all(&x.to_le_bytes()).map_err(io_err)?;
-            }
-            out.write_all(&(s.dict.len() as u64).to_le_bytes()).map_err(io_err)?;
-            for (_, st) in s.dict.iter() {
-                let bytes = st.as_bytes();
-                out.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io_err)?;
-                out.write_all(bytes).map_err(io_err)?;
-            }
-        }
+/// Serialise one BAT into the v2 file format.
+fn encode_bat(bat: &Bat) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    write_column(&mut body, bat.head());
+    write_column(&mut body, bat.tail());
+    let body = body.into_bytes();
+    let mut out = ByteWriter::new();
+    out.bytes(MAGIC);
+    out.u8(FORMAT_VERSION);
+    out.u16(ENDIAN_SENTINEL);
+    let sum = checksum64(&body);
+    out.bytes(&body);
+    out.u64(sum);
+    out.into_bytes()
+}
+
+/// Decode one BAT file, validating magic, version, endianness and
+/// checksum before any column bytes are interpreted.
+fn decode_bat(bytes: &[u8], name: &str) -> Result<Bat> {
+    let corrupt =
+        |detail: String| MonetError::Corrupt { what: format!("BAT file for '{name}'"), detail };
+    if bytes.len() < MAGIC.len() + 3 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad magic".into()));
     }
-    Ok(())
-}
-
-fn read_exact_buf(inp: &mut impl Read, n: usize) -> Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    inp.read_exact(&mut buf).map_err(io_err)?;
-    Ok(buf)
-}
-
-fn read_u64(inp: &mut impl Read) -> Result<u64> {
-    let b = read_exact_buf(inp, 8)?;
-    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
-}
-
-fn read_u32(inp: &mut impl Read) -> Result<u32> {
-    let b = read_exact_buf(inp, 4)?;
-    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
-}
-
-/// Deserialise one column from `inp`.
-fn read_column(inp: &mut impl Read) -> Result<Column> {
-    let tag = read_exact_buf(inp, 1)?[0];
-    Ok(match tag {
-        0 => {
-            let start = read_u32(inp)?;
-            let len = read_u64(inp)? as usize;
-            Column::Void { start, len }
-        }
-        1 => {
-            let n = read_u64(inp)? as usize;
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                v.push(read_u32(inp)?);
-            }
-            Column::Oid(v)
-        }
-        2 => {
-            let n = read_u64(inp)? as usize;
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                let b = read_exact_buf(inp, 8)?;
-                v.push(i64::from_le_bytes(b.try_into().expect("8 bytes")));
-            }
-            Column::Int(v)
-        }
-        3 => {
-            let n = read_u64(inp)? as usize;
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                v.push(f64::from_bits(read_u64(inp)?));
-            }
-            Column::Float(v)
-        }
-        4 => {
-            let n = read_u64(inp)? as usize;
-            let mut codes = Vec::with_capacity(n);
-            for _ in 0..n {
-                codes.push(read_u32(inp)?);
-            }
-            let dict_len = read_u64(inp)? as usize;
-            let mut builder = StrDictBuilder::new();
-            for _ in 0..dict_len {
-                let slen = read_u32(inp)? as usize;
-                let bytes = read_exact_buf(inp, slen)?;
-                let s = String::from_utf8(bytes)
-                    .map_err(|e| MonetError::BadValue(format!("bad utf8 in dict: {e}")))?;
-                builder.intern(&s);
-            }
-            Column::Str(StrCol { codes, dict: builder.freeze() })
-        }
-        other => return Err(MonetError::BadValue(format!("unknown column tag {other}"))),
-    })
+    let version = bytes[MAGIC.len()];
+    // legacy v1 snapshots spelled the version into the magic ("MIRRBAT1")
+    let found = if version == b'1' { 1 } else { version as u32 };
+    if found != FORMAT_VERSION as u32 {
+        return Err(MonetError::FormatVersion { found, expected: FORMAT_VERSION as u32 });
+    }
+    let mut r = ByteReader::new(&bytes[MAGIC.len() + 1..], "BAT file header");
+    let sentinel = r.u16()?;
+    if sentinel != ENDIAN_SENTINEL {
+        return Err(corrupt(format!(
+            "endianness sentinel {sentinel:#06x} (expected {ENDIAN_SENTINEL:#06x}) — \
+             file written with a different byte order"
+        )));
+    }
+    let rest = &bytes[MAGIC.len() + 3..];
+    if rest.len() < 8 {
+        return Err(corrupt("truncated before checksum".into()));
+    }
+    let (body, sum_bytes) = rest.split_at(rest.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    let mut r = ByteReader::new(body, "BAT columns");
+    let head = read_column(&mut r)?;
+    let tail = read_column(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(corrupt(format!("{} trailing bytes after tail column", r.remaining())));
+    }
+    Ok(Bat::new(head, tail)?.analyze())
 }
 
 /// Map a BAT name to a safe file name.
@@ -155,11 +111,7 @@ impl Catalog {
         let mut manifest = String::new();
         for name in &names {
             let bat = self.get(name)?;
-            let mut buf: Vec<u8> = Vec::new();
-            buf.extend_from_slice(MAGIC);
-            write_column(&mut buf, bat.head())?;
-            write_column(&mut buf, bat.tail())?;
-            std::fs::write(dir.join(file_name(name)), &buf).map_err(io_err)?;
+            std::fs::write(dir.join(file_name(name)), encode_bat(&bat)).map_err(io_err)?;
             manifest.push_str(name);
             manifest.push('\n');
         }
@@ -174,14 +126,7 @@ impl Catalog {
         let mut loaded = 0;
         for name in manifest.lines().filter(|l| !l.is_empty()) {
             let bytes = std::fs::read(dir.join(file_name(name))).map_err(io_err)?;
-            if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-                return Err(MonetError::BadValue(format!("bad magic in BAT file for '{name}'")));
-            }
-            let mut cursor = &bytes[MAGIC.len()..];
-            let head = read_column(&mut cursor)?;
-            let tail = read_column(&mut cursor)?;
-            let bat = Bat::new(head, tail)?.analyze();
-            self.register(name, bat);
+            self.register(name, decode_bat(&bytes, name)?);
             loaded += 1;
         }
         Ok(loaded)
@@ -192,6 +137,7 @@ impl Catalog {
 mod tests {
     use super::*;
     use crate::bat::{bat_of_floats, bat_of_ints, bat_of_strs};
+    use crate::column::Column;
     use crate::value::Val;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
@@ -247,7 +193,74 @@ mod tests {
         cat.save_dir(&dir).unwrap();
         std::fs::write(dir.join(file_name("x")), b"garbage").unwrap();
         let restored = Catalog::new();
-        assert!(restored.load_dir(&dir).is_err());
+        assert!(matches!(restored.load_dir(&dir), Err(MonetError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let dir = tmpdir("bitflip");
+        let cat = Catalog::new();
+        cat.register("x", bat_of_ints(vec![42, 43, 44]));
+        cat.save_dir(&dir).unwrap();
+        let path = dir.join(file_name("x"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Catalog::new();
+        assert!(matches!(restored.load_dir(&dir), Err(MonetError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_is_rejected_with_typed_version_error() {
+        let dir = tmpdir("v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        // a legacy file started with "MIRRBAT1" followed by raw columns
+        std::fs::write(dir.join(file_name("old")), b"MIRRBAT1\x00\x01\x00\x00\x00\x03").unwrap();
+        std::fs::write(dir.join("manifest.txt"), "old\n").unwrap();
+        let restored = Catalog::new();
+        assert_eq!(
+            restored.load_dir(&dir).unwrap_err(),
+            MonetError::FormatVersion { found: 1, expected: 2 }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_is_rejected_before_decode() {
+        let dir = tmpdir("future");
+        let cat = Catalog::new();
+        cat.register("x", bat_of_ints(vec![1]));
+        cat.save_dir(&dir).unwrap();
+        let path = dir.join(file_name("x"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len()] = 9; // declare format version 9
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Catalog::new();
+        assert_eq!(
+            restored.load_dir(&dir).unwrap_err(),
+            MonetError::FormatVersion { found: 9, expected: 2 }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_swapped_file_trips_endian_sentinel() {
+        let dir = tmpdir("endian");
+        let cat = Catalog::new();
+        cat.register("x", bat_of_ints(vec![1]));
+        cat.save_dir(&dir).unwrap();
+        let path = dir.join(file_name("x"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // swap the sentinel bytes as a big-endian writer would have laid them
+        bytes.swap(MAGIC.len() + 1, MAGIC.len() + 2);
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Catalog::new();
+        let err = restored.load_dir(&dir).unwrap_err();
+        assert!(matches!(err, MonetError::Corrupt { .. }), "got {err:?}");
+        assert!(err.to_string().contains("byte order"), "got {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

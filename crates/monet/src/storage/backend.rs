@@ -1,0 +1,503 @@
+//! The storage backend abstraction: a flat namespace of byte files.
+//!
+//! Everything durable — page files, the write-ahead log — goes through
+//! [`StorageBackend`], a deliberately small file-system surface. Three
+//! implementations ship with the kernel:
+//!
+//! * [`DiskFs`] — real files under a root directory (production);
+//! * [`MemFs`] — an in-memory map, cheaply cloneable so a test can keep a
+//!   handle to "the disk" while the store's handle dies with a simulated
+//!   crash;
+//! * [`FaultFs`] — a deterministic fault injector wrapping any backend:
+//!   crash at the Nth write (leaving a configurable torn prefix), flip a
+//!   byte of a chosen write, then refuse all further I/O like a dead
+//!   process would.
+//!
+//! The fault injector is what turns "crash-consistency" from a design
+//! claim into a tested property: the crash-recovery suite replays ingest
+//! against every reachable crash point and asserts recovery.
+
+use crate::error::{MonetError, Result};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn io_err(file: &str, e: std::io::Error) -> MonetError {
+    MonetError::Io(format!("{file}: {e}"))
+}
+
+/// A flat namespace of byte files — the only I/O surface the storage
+/// tier uses. File names are simple (no path separators); the backend
+/// owns their placement.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// Read a whole file.
+    fn read(&self, file: &str) -> Result<Vec<u8>>;
+
+    /// Read exactly `len` bytes at byte offset `off`. Short files are an
+    /// error, not a short read.
+    fn read_at(&self, file: &str, off: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Create or replace a file with `data`.
+    fn write(&self, file: &str, data: &[u8]) -> Result<()>;
+
+    /// Append `data` to a file (created if missing).
+    fn append(&self, file: &str, data: &[u8]) -> Result<()>;
+
+    /// Current length of a file in bytes.
+    fn file_len(&self, file: &str) -> Result<u64>;
+
+    /// True if the file exists.
+    fn exists(&self, file: &str) -> bool;
+
+    /// Delete a file (idempotent: deleting a missing file succeeds).
+    fn remove(&self, file: &str) -> Result<()>;
+
+    /// Flush a file's bytes to stable storage.
+    fn sync(&self, file: &str) -> Result<()>;
+
+    /// All file names, sorted.
+    fn list(&self) -> Result<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------------
+// DiskFs
+// ---------------------------------------------------------------------------
+
+/// Real files under a root directory.
+#[derive(Debug)]
+pub struct DiskFs {
+    root: PathBuf,
+}
+
+impl DiskFs {
+    /// Open (creating if needed) a backend rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| io_err(&root.display().to_string(), e))?;
+        Ok(DiskFs { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        debug_assert!(!file.contains(['/', '\\']), "backend file names are flat: {file}");
+        self.root.join(file)
+    }
+}
+
+impl StorageBackend for DiskFs {
+    fn read(&self, file: &str) -> Result<Vec<u8>> {
+        std::fs::read(self.path(file)).map_err(|e| io_err(file, e))
+    }
+
+    fn read_at(&self, file: &str, off: u64, len: usize) -> Result<Vec<u8>> {
+        let mut f = std::fs::File::open(self.path(file)).map_err(|e| io_err(file, e))?;
+        f.seek(SeekFrom::Start(off)).map_err(|e| io_err(file, e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).map_err(|e| io_err(file, e))?;
+        Ok(buf)
+    }
+
+    fn write(&self, file: &str, data: &[u8]) -> Result<()> {
+        std::fs::write(self.path(file), data).map_err(|e| io_err(file, e))
+    }
+
+    fn append(&self, file: &str, data: &[u8]) -> Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(file))
+            .map_err(|e| io_err(file, e))?;
+        f.write_all(data).map_err(|e| io_err(file, e))
+    }
+
+    fn file_len(&self, file: &str) -> Result<u64> {
+        Ok(std::fs::metadata(self.path(file)).map_err(|e| io_err(file, e))?.len())
+    }
+
+    fn exists(&self, file: &str) -> bool {
+        self.path(file).exists()
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        match std::fs::remove_file(self.path(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(file, e)),
+        }
+    }
+
+    fn sync(&self, file: &str) -> Result<()> {
+        // opening read-only is enough to reach fsync on all platforms we
+        // target; a missing file has nothing to sync
+        match std::fs::File::open(self.path(file)) {
+            Ok(f) => f.sync_all().map_err(|e| io_err(file, e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(file, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err(&self.root.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("<dir entry>", e))?;
+            if entry.file_type().map_err(|e| io_err("<dir entry>", e))?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemFs
+// ---------------------------------------------------------------------------
+
+/// An in-memory backend. Clones share the same underlying "disk", which
+/// is how crash tests keep the surviving bytes after the crashed handle
+/// is dropped.
+#[derive(Debug, Clone, Default)]
+pub struct MemFs {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemFs {
+    /// Create an empty in-memory disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes held across all files (test/diagnostic aid).
+    pub fn total_bytes(&self) -> usize {
+        self.files.lock().values().map(Vec::len).sum()
+    }
+
+    /// An independent deep copy of the current disk image. Unlike
+    /// `clone` (which shares the disk — that is how crash tests keep the
+    /// surviving bytes), a fork lets a test corrupt or extend its own
+    /// image without affecting a shared fixture.
+    pub fn fork(&self) -> MemFs {
+        MemFs { files: Arc::new(Mutex::new(self.files.lock().clone())) }
+    }
+
+    /// Mutate a file's bytes in place — the test hook behind "a cosmic
+    /// ray flipped a bit in a page that was already durable".
+    pub fn corrupt(&self, file: &str, offset: usize, xor_mask: u8) -> Result<()> {
+        let mut files = self.files.lock();
+        let data = files
+            .get_mut(file)
+            .ok_or_else(|| MonetError::Io(format!("{file}: no such file to corrupt")))?;
+        if offset >= data.len() {
+            return Err(MonetError::Io(format!("{file}: corrupt offset {offset} past end")));
+        }
+        data[offset] ^= xor_mask;
+        Ok(())
+    }
+}
+
+impl StorageBackend for MemFs {
+    fn read(&self, file: &str) -> Result<Vec<u8>> {
+        self.files
+            .lock()
+            .get(file)
+            .cloned()
+            .ok_or_else(|| MonetError::Io(format!("{file}: no such file")))
+    }
+
+    fn read_at(&self, file: &str, off: u64, len: usize) -> Result<Vec<u8>> {
+        let files = self.files.lock();
+        let data =
+            files.get(file).ok_or_else(|| MonetError::Io(format!("{file}: no such file")))?;
+        let off = off as usize;
+        if off + len > data.len() {
+            return Err(MonetError::Io(format!(
+                "{file}: read [{off}, {}) past end {}",
+                off + len,
+                data.len()
+            )));
+        }
+        Ok(data[off..off + len].to_vec())
+    }
+
+    fn write(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.files.lock().insert(file.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.files.lock().entry(file.to_string()).or_default().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn file_len(&self, file: &str) -> Result<u64> {
+        self.files
+            .lock()
+            .get(file)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| MonetError::Io(format!("{file}: no such file")))
+    }
+
+    fn exists(&self, file: &str) -> bool {
+        self.files.lock().contains_key(file)
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        self.files.lock().remove(file);
+        Ok(())
+    }
+
+    fn sync(&self, _file: &str) -> Result<()> {
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.files.lock().keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs
+// ---------------------------------------------------------------------------
+
+/// One silent byte corruption: XOR `mask` into byte `offset` of the
+/// `write_index`-th mutating operation's payload before it lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Zero-based index of the mutating operation to corrupt.
+    pub write_index: u64,
+    /// Byte offset within that operation's payload (clamped to its end).
+    pub offset: usize,
+    /// XOR mask (use a non-zero mask to actually flip something).
+    pub mask: u8,
+}
+
+/// A deterministic fault plan for [`FaultFs`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash *on* the Nth (zero-based) mutating operation: the operation
+    /// lands only its [`torn_bytes`](Self::torn_bytes) prefix, fails, and
+    /// every later operation (reads included) fails too.
+    pub crash_at_write: Option<u64>,
+    /// How many payload bytes of the crashing write still reach the
+    /// backend — models a torn sector write.
+    pub torn_bytes: usize,
+    /// Silent corruptions to apply along the way.
+    pub flips: Vec<BitFlip>,
+}
+
+/// A fault-injecting wrapper around any backend. Mutating operations
+/// (`write`, `append`, `remove`) are counted; the plan decides which one
+/// tears and kills the "process", and which have a byte flipped. With an
+/// empty plan it is a pure pass-through write counter, which is how tests
+/// learn how many crash points a workload exposes.
+#[derive(Debug)]
+pub struct FaultFs {
+    inner: Arc<dyn StorageBackend>,
+    plan: FaultPlan,
+    writes: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultFs {
+    /// Wrap `inner` with a fault plan.
+    pub fn new(inner: Arc<dyn StorageBackend>, plan: FaultPlan) -> Self {
+        FaultFs { inner, plan, writes: AtomicU64::new(0), crashed: AtomicBool::new(false) }
+    }
+
+    /// Number of mutating operations issued so far.
+    pub fn writes_issued(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// True once the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.crashed() {
+            return Err(MonetError::Io("injected crash: backend is dead".into()));
+        }
+        Ok(())
+    }
+
+    /// Account one mutating operation; returns the (possibly corrupted)
+    /// payload to forward, or `None` if this operation crashes after
+    /// landing `torn_bytes` of it.
+    fn admit<'a>(&self, data: &'a [u8]) -> Result<(std::borrow::Cow<'a, [u8]>, bool)> {
+        self.check_alive()?;
+        let idx = self.writes.fetch_add(1, Ordering::SeqCst);
+        if self.plan.crash_at_write == Some(idx) {
+            self.crashed.store(true, Ordering::SeqCst);
+            let torn = self.plan.torn_bytes.min(data.len());
+            return Ok((std::borrow::Cow::Borrowed(&data[..torn]), true));
+        }
+        let mut out = std::borrow::Cow::Borrowed(data);
+        for flip in &self.plan.flips {
+            if flip.write_index == idx && !data.is_empty() {
+                let buf = out.to_mut();
+                let at = flip.offset.min(buf.len() - 1);
+                buf[at] ^= flip.mask;
+            }
+        }
+        Ok((out, false))
+    }
+}
+
+impl StorageBackend for FaultFs {
+    fn read(&self, file: &str) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read(file)
+    }
+
+    fn read_at(&self, file: &str, off: u64, len: usize) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read_at(file, off, len)
+    }
+
+    fn write(&self, file: &str, data: &[u8]) -> Result<()> {
+        let (payload, crash) = self.admit(data)?;
+        self.inner.write(file, &payload)?;
+        if crash {
+            return Err(MonetError::Io(format!("injected crash during write of '{file}'")));
+        }
+        Ok(())
+    }
+
+    fn append(&self, file: &str, data: &[u8]) -> Result<()> {
+        let (payload, crash) = self.admit(data)?;
+        self.inner.append(file, &payload)?;
+        if crash {
+            return Err(MonetError::Io(format!("injected crash during append to '{file}'")));
+        }
+        Ok(())
+    }
+
+    fn file_len(&self, file: &str) -> Result<u64> {
+        self.check_alive()?;
+        self.inner.file_len(file)
+    }
+
+    fn exists(&self, file: &str) -> bool {
+        !self.crashed() && self.inner.exists(file)
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        let (_, crash) = self.admit(&[])?;
+        if crash {
+            // the crash pre-empts the removal: the file survives
+            return Err(MonetError::Io(format!("injected crash before remove of '{file}'")));
+        }
+        self.inner.remove(file)
+    }
+
+    fn sync(&self, file: &str) -> Result<()> {
+        self.check_alive()?;
+        self.inner.sync(file)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.check_alive()?;
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(fs: &dyn StorageBackend) {
+        fs.write("a.bin", b"hello").unwrap();
+        fs.append("a.bin", b" world").unwrap();
+        assert_eq!(fs.read("a.bin").unwrap(), b"hello world");
+        assert_eq!(fs.read_at("a.bin", 6, 5).unwrap(), b"world");
+        assert_eq!(fs.file_len("a.bin").unwrap(), 11);
+        assert!(fs.exists("a.bin"));
+        fs.sync("a.bin").unwrap();
+        assert_eq!(fs.list().unwrap(), vec!["a.bin".to_string()]);
+        fs.remove("a.bin").unwrap();
+        assert!(!fs.exists("a.bin"));
+        fs.remove("a.bin").unwrap(); // idempotent
+        assert!(fs.read("a.bin").is_err());
+        assert!(fs.read_at("missing", 0, 1).is_err());
+    }
+
+    #[test]
+    fn memfs_contract() {
+        roundtrip(&MemFs::new());
+    }
+
+    #[test]
+    fn diskfs_contract() {
+        let dir = std::env::temp_dir().join(format!("mirror_diskfs_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = DiskFs::new(&dir).unwrap();
+        roundtrip(&fs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memfs_clones_share_the_disk() {
+        let a = MemFs::new();
+        let b = a.clone();
+        a.write("x", b"1").unwrap();
+        assert_eq!(b.read("x").unwrap(), b"1");
+    }
+
+    #[test]
+    fn faultfs_crashes_with_torn_prefix_then_stays_dead() {
+        let disk = MemFs::new();
+        let fs = FaultFs::new(
+            Arc::new(disk.clone()),
+            FaultPlan { crash_at_write: Some(1), torn_bytes: 2, ..Default::default() },
+        );
+        fs.write("f", b"first").unwrap(); // write 0 fine
+        let err = fs.append("f", b"second").unwrap_err(); // write 1 crashes
+        assert!(matches!(err, MonetError::Io(_)));
+        assert!(fs.crashed());
+        // two torn bytes of the second write landed
+        assert_eq!(disk.read("f").unwrap(), b"firstse");
+        // everything after the crash fails, reads included
+        assert!(fs.read("f").is_err());
+        assert!(fs.write("g", b"x").is_err());
+        assert!(fs.sync("f").is_err());
+        // …but the underlying disk still has the surviving bytes
+        assert_eq!(disk.read("f").unwrap(), b"firstse");
+    }
+
+    #[test]
+    fn faultfs_flips_exactly_the_planned_byte() {
+        let disk = MemFs::new();
+        let fs = FaultFs::new(
+            Arc::new(disk.clone()),
+            FaultPlan {
+                flips: vec![BitFlip { write_index: 0, offset: 1, mask: 0xFF }],
+                ..Default::default()
+            },
+        );
+        fs.write("f", &[0, 0, 0]).unwrap();
+        fs.write("g", &[0, 0]).unwrap();
+        assert_eq!(disk.read("f").unwrap(), vec![0, 0xFF, 0]);
+        assert_eq!(disk.read("g").unwrap(), vec![0, 0]); // only write 0 flipped
+        assert_eq!(fs.writes_issued(), 2);
+    }
+
+    #[test]
+    fn faultfs_passthrough_counts_writes() {
+        let fs = FaultFs::new(Arc::new(MemFs::new()), FaultPlan::default());
+        fs.write("a", b"x").unwrap();
+        fs.append("a", b"y").unwrap();
+        fs.remove("a").unwrap();
+        assert_eq!(fs.writes_issued(), 3);
+        assert!(!fs.crashed());
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixed-size checksummed pages — the unit of I/O and caching.
+//!
+//! A page file is a sequence of 4096-byte pages. Every page carries a
+//! 24-byte header:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x4D50_4731 ("MPG1", little-endian)
+//!      4     2  version      1
+//!      6     2  kind         0 = Data, 1 = Manifest, 2 = Footer
+//!      8     4  payload_len  bytes of payload actually used (≤ 4072)
+//!     12     4  page_no      position of this page within its file
+//!     16     8  checksum     fx64 over header[0..16] ++ payload
+//! ```
+//!
+//! The checksum covers the header prefix *and* the used payload, so a
+//! flipped bit anywhere meaningful — including in `page_no`, which pins
+//! a page to its slot — is detected on read. Unused tail bytes are
+//! zero-filled and excluded from the checksum so short payloads don't
+//! pay to hash padding.
+
+use crate::error::{MonetError, Result};
+use crate::storage::codec::checksum64;
+
+/// Size of every page on disk, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes reserved for the page header.
+pub const PAGE_HEADER: usize = 24;
+/// Usable payload bytes per page.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HEADER;
+
+const PAGE_MAGIC: u32 = 0x4D50_4731;
+const PAGE_VERSION: u16 = 1;
+
+/// What a page holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// A chunk of a stored value.
+    Data,
+    /// A chunk of the file's key → page-range manifest.
+    Manifest,
+    /// The final page of a file: generation metadata locating the manifest.
+    Footer,
+}
+
+impl PageKind {
+    fn code(self) -> u16 {
+        match self {
+            PageKind::Data => 0,
+            PageKind::Manifest => 1,
+            PageKind::Footer => 2,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<Self> {
+        match code {
+            0 => Some(PageKind::Data),
+            1 => Some(PageKind::Manifest),
+            2 => Some(PageKind::Footer),
+            _ => None,
+        }
+    }
+}
+
+/// Encode a payload into one `PAGE_SIZE` page. Panics if the payload
+/// exceeds [`PAGE_PAYLOAD`] — callers chunk values before paging them.
+pub fn encode_page(kind: PageKind, page_no: u32, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= PAGE_PAYLOAD, "payload {} exceeds page capacity", payload.len());
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+    page[4..6].copy_from_slice(&PAGE_VERSION.to_le_bytes());
+    page[6..8].copy_from_slice(&kind.code().to_le_bytes());
+    page[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[12..16].copy_from_slice(&page_no.to_le_bytes());
+    page[PAGE_HEADER..PAGE_HEADER + payload.len()].copy_from_slice(payload);
+    let mut hashed = Vec::with_capacity(16 + payload.len());
+    hashed.extend_from_slice(&page[0..16]);
+    hashed.extend_from_slice(payload);
+    page[16..24].copy_from_slice(&checksum64(&hashed).to_le_bytes());
+    page
+}
+
+/// Decode and validate one page read from slot `expect_page_no`. Returns
+/// the kind and the used payload. Any mismatch — magic, version, kind
+/// code, length, slot, checksum — is a typed [`MonetError::Corrupt`] (or
+/// [`MonetError::FormatVersion`] for a clean version skew).
+pub fn decode_page(bytes: &[u8], expect_page_no: u32) -> Result<(PageKind, Vec<u8>)> {
+    let corrupt =
+        |detail: String| MonetError::Corrupt { what: format!("page {expect_page_no}"), detail };
+    if bytes.len() != PAGE_SIZE {
+        return Err(corrupt(format!("wrong size {} (expected {PAGE_SIZE})", bytes.len())));
+    }
+    let word =
+        |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    if word(0) != PAGE_MAGIC {
+        return Err(corrupt(format!("bad magic {:#010x}", word(0))));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != PAGE_VERSION {
+        return Err(MonetError::FormatVersion {
+            found: version as u32,
+            expected: PAGE_VERSION as u32,
+        });
+    }
+    let kind_code = u16::from_le_bytes([bytes[6], bytes[7]]);
+    let kind =
+        PageKind::from_code(kind_code).ok_or_else(|| corrupt(format!("bad kind {kind_code}")))?;
+    let payload_len = word(8) as usize;
+    if payload_len > PAGE_PAYLOAD {
+        return Err(corrupt(format!("payload_len {payload_len} exceeds capacity")));
+    }
+    let page_no = word(12);
+    if page_no != expect_page_no {
+        return Err(corrupt(format!("page stamped {page_no}, read from slot {expect_page_no}")));
+    }
+    let stored = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let mut hashed = Vec::with_capacity(16 + payload_len);
+    hashed.extend_from_slice(&bytes[0..16]);
+    hashed.extend_from_slice(&bytes[PAGE_HEADER..PAGE_HEADER + payload_len]);
+    if checksum64(&hashed) != stored {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    Ok((kind, bytes[PAGE_HEADER..PAGE_HEADER + payload_len].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for (kind, payload) in [
+            (PageKind::Data, vec![7u8; PAGE_PAYLOAD]),
+            (PageKind::Manifest, b"manifest bytes".to_vec()),
+            (PageKind::Footer, Vec::new()),
+        ] {
+            let page = encode_page(kind, 42, &payload);
+            assert_eq!(page.len(), PAGE_SIZE);
+            let (k, p) = decode_page(&page, 42).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(p, payload);
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_in_used_region_is_detected() {
+        let payload = b"the quick brown fox".to_vec();
+        let page = encode_page(PageKind::Data, 3, &payload);
+        for at in 0..PAGE_HEADER + payload.len() {
+            let mut bad = page.clone();
+            bad[at] ^= 0x40;
+            assert!(decode_page(&bad, 3).is_err(), "flip at byte {at} went undetected");
+        }
+    }
+
+    #[test]
+    fn wrong_slot_is_corrupt() {
+        let page = encode_page(PageKind::Data, 5, b"x");
+        let err = decode_page(&page, 6).unwrap_err();
+        assert!(matches!(err, MonetError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut page = encode_page(PageKind::Data, 0, b"x");
+        page[4..6].copy_from_slice(&9u16.to_le_bytes());
+        // re-stamp checksum so only the version differs
+        let mut hashed = Vec::new();
+        hashed.extend_from_slice(&page[0..16]);
+        hashed.extend_from_slice(b"x");
+        let sum = checksum64(&hashed).to_le_bytes();
+        page[16..24].copy_from_slice(&sum);
+        let err = decode_page(&page, 0).unwrap_err();
+        assert_eq!(err, MonetError::FormatVersion { found: 9, expected: 1 });
+    }
+
+    #[test]
+    fn truncated_page_is_corrupt() {
+        let page = encode_page(PageKind::Data, 0, b"payload");
+        let err = decode_page(&page[..100], 0).unwrap_err();
+        assert!(matches!(err, MonetError::Corrupt { .. }));
+    }
+}

@@ -1,0 +1,270 @@
+//! A buffer pool with clock (second-chance) eviction.
+//!
+//! The pool fronts page files: readers ask for `(file, page)` and either
+//! hit the cache or run the supplied loader, after which the decoded
+//! payload is pinned into a clock ring. Eviction is the classic
+//! second-chance sweep — each frame has a reference bit that a hit sets
+//! and the clock hand clears; the first frame found with a clear bit is
+//! evicted. A capacity of `0` means unbounded (no eviction), which the
+//! property tests use as the "∞ pages" baseline.
+
+use crate::fxhash::FxHashMap;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identifies one cached page: a file id (the store uses the checkpoint
+/// generation number) and the page's position within that file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// File identifier (checkpoint generation for the page store).
+    pub file: u64,
+    /// Page number within the file.
+    pub page: u64,
+}
+
+/// Cache hit/miss/eviction counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the loader.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+struct Frame {
+    key: PageKey,
+    payload: Arc<Vec<u8>>,
+    referenced: bool,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    by_key: FxHashMap<PageKey, usize>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+/// A clock-eviction page cache. Thread-safe; loads outside the lock are
+/// not deduplicated (two racing misses may both load — harmless since
+/// loads are pure reads).
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &inner.frames.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Create a pool holding at most `capacity` pages; `0` = unbounded.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            inner: Mutex::new(PoolInner {
+                frames: Vec::new(),
+                by_key: FxHashMap::default(),
+                hand: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetch a page, running `load` on a miss.
+    pub fn get_or_load<E>(
+        &self,
+        key: PageKey,
+        load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
+    ) -> std::result::Result<Arc<Vec<u8>>, E> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&slot) = inner.by_key.get(&key) {
+                inner.stats.hits += 1;
+                inner.frames[slot].referenced = true;
+                return Ok(Arc::clone(&inner.frames[slot].payload));
+            }
+            inner.stats.misses += 1;
+        }
+        let payload = Arc::new(load()?);
+        let mut inner = self.inner.lock();
+        // a racing load may have inserted meanwhile — keep the resident copy
+        if let Some(&slot) = inner.by_key.get(&key) {
+            inner.frames[slot].referenced = true;
+            return Ok(Arc::clone(&inner.frames[slot].payload));
+        }
+        if self.capacity > 0 && inner.frames.len() >= self.capacity {
+            let victim = Self::advance_clock(&mut inner);
+            let old_key = inner.frames[victim].key;
+            inner.by_key.remove(&old_key);
+            inner.by_key.insert(key, victim);
+            inner.frames[victim] = Frame { key, payload: Arc::clone(&payload), referenced: true };
+            inner.stats.evictions += 1;
+        } else {
+            let slot = inner.frames.len();
+            inner.frames.push(Frame { key, payload: Arc::clone(&payload), referenced: true });
+            inner.by_key.insert(key, slot);
+        }
+        Ok(payload)
+    }
+
+    /// Second-chance sweep: clear reference bits until a frame with a
+    /// clear bit comes under the hand; that frame is the victim.
+    fn advance_clock(inner: &mut PoolInner) -> usize {
+        loop {
+            let slot = inner.hand;
+            inner.hand = (inner.hand + 1) % inner.frames.len();
+            if inner.frames[slot].referenced {
+                inner.frames[slot].referenced = false;
+            } else {
+                return slot;
+            }
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Keys currently resident, in frame (insertion/replacement) order.
+    /// Test hook for asserting eviction order.
+    pub fn cached_keys(&self) -> Vec<PageKey> {
+        self.inner.lock().frames.iter().map(|f| f.key).collect()
+    }
+
+    /// Drop every cached page (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.by_key.clear();
+        inner.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(page: u64) -> PageKey {
+        PageKey { file: 1, page }
+    }
+
+    fn load(pool: &BufferPool, page: u64) -> Arc<Vec<u8>> {
+        pool.get_or_load::<std::convert::Infallible>(key(page), || Ok(vec![page as u8])).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_cached_bytes_without_reloading() {
+        let pool = BufferPool::new(4);
+        load(&pool, 7);
+        let got = pool
+            .get_or_load::<std::convert::Infallible>(key(7), || {
+                panic!("loader must not run on a hit")
+            })
+            .unwrap();
+        assert_eq!(*got, vec![7]);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_first() {
+        let pool = BufferPool::new(3);
+        load(&pool, 0);
+        load(&pool, 1);
+        load(&pool, 2);
+        // all bits set: inserting 3 sweeps (clearing 1 and 2), evicts 0
+        load(&pool, 3);
+        // re-reference page 1 — its bit is set again, page 2's stays clear
+        load(&pool, 1);
+        // inserting 4: the hand passes referenced page 1 (second chance,
+        // clearing its bit) and evicts unreferenced page 2 — even though
+        // page 2 is *newer* than page 1, so FIFO would have kept it
+        load(&pool, 4);
+        let keys = pool.cached_keys();
+        assert!(keys.contains(&key(1)), "touched page 1 must survive");
+        assert!(keys.contains(&key(3)));
+        assert!(keys.contains(&key(4)));
+        assert!(!keys.contains(&key(2)), "cold page 2 must be the victim");
+        assert_eq!(pool.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clock_gives_every_frame_a_second_chance() {
+        let pool = BufferPool::new(2);
+        load(&pool, 0);
+        load(&pool, 1);
+        // all bits set (set on insert). Inserting 2 sweeps: clears 0,
+        // clears 1, wraps, evicts 0 (first clear bit under the hand).
+        load(&pool, 2);
+        let keys = pool.cached_keys();
+        assert!(!keys.contains(&key(0)));
+        assert!(keys.contains(&key(1)));
+        assert!(keys.contains(&key(2)));
+    }
+
+    #[test]
+    fn sequential_scan_over_small_pool_evicts_in_fifo_order() {
+        let pool = BufferPool::new(2);
+        for p in 0..5 {
+            load(&pool, p);
+        }
+        // a pure scan never re-references, so the clock degenerates to
+        // FIFO: the last two pages remain
+        let mut keys = pool.cached_keys();
+        keys.sort_by_key(|k| k.page);
+        assert_eq!(keys, vec![key(3), key(4)]);
+        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 5, evictions: 3 });
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let pool = BufferPool::new(0);
+        for p in 0..100 {
+            load(&pool, p);
+        }
+        assert_eq!(pool.cached_keys().len(), 100);
+        assert_eq!(pool.stats().evictions, 0);
+        // everything hits the second time around
+        for p in 0..100 {
+            load(&pool, p);
+        }
+        assert_eq!(pool.stats().hits, 100);
+    }
+
+    #[test]
+    fn loader_error_propagates_and_caches_nothing() {
+        let pool = BufferPool::new(2);
+        let err = pool.get_or_load(key(1), || Err::<Vec<u8>, &str>("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(pool.cached_keys().is_empty());
+        // a later successful load works
+        load(&pool, 1);
+        assert_eq!(pool.cached_keys(), vec![key(1)]);
+    }
+
+    #[test]
+    fn clear_empties_cache_but_keeps_counters() {
+        let pool = BufferPool::new(0);
+        load(&pool, 1);
+        load(&pool, 2);
+        pool.clear();
+        assert!(pool.cached_keys().is_empty());
+        assert_eq!(pool.stats().misses, 2);
+        load(&pool, 1); // reload after clear is a miss
+        assert_eq!(pool.stats().misses, 3);
+    }
+}

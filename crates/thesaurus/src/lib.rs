@@ -160,6 +160,33 @@ impl AssociationThesaurus {
         self.assoc.len()
     }
 
+    /// Every association as `(text term, visual term, strength)`, sorted
+    /// by text term and then by the per-term ranking. Deterministic, so
+    /// it can be serialised and compared across processes; the inverse of
+    /// [`from_entries`](Self::from_entries).
+    pub fn entries(&self) -> Vec<(String, String, f64)> {
+        let mut terms: Vec<&String> = self.assoc.keys().collect();
+        terms.sort();
+        terms
+            .into_iter()
+            .flat_map(|t| self.assoc[t].iter().map(move |(v, s)| (t.clone(), v.clone(), *s)))
+            .collect()
+    }
+
+    /// Rebuild a thesaurus from [`entries`](Self::entries) output.
+    /// Within-term order of `entries` is preserved, so a roundtrip
+    /// reproduces the original ranking bit-for-bit.
+    pub fn from_entries(
+        measure: AssocMeasure,
+        entries: impl IntoIterator<Item = (String, String, f64)>,
+    ) -> Self {
+        let mut assoc: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        for (t, v, s) in entries {
+            assoc.entry(t).or_default().push((v, s));
+        }
+        AssociationThesaurus { assoc, measure }
+    }
+
     /// Expand a weighted text query into a weighted visual-term query:
     /// per text term take the top `per_term` associations, accumulate
     /// `query weight × association strength`, renormalise so the expansion
@@ -301,5 +328,33 @@ mod tests {
         let th = ThesaurusBuilder::new().build(AssocMeasure::Emim);
         assert_eq!(th.n_terms(), 0);
         assert!(th.associations("anything").is_empty());
+    }
+
+    #[test]
+    fn entries_roundtrip_is_bit_identical() {
+        let th = builder().build(AssocMeasure::Emim);
+        let back = AssociationThesaurus::from_entries(th.measure(), th.entries());
+        assert_eq!(back.measure(), th.measure());
+        assert_eq!(back.n_terms(), th.n_terms());
+        for term in ["sunset", "forest", "photo"] {
+            assert_eq!(back.associations(term), th.associations(term), "{term}");
+        }
+        // and expansions (the behaviour that matters) agree exactly
+        let q = vec![("sunset".to_string(), 1.0), ("forest".to_string(), 0.25)];
+        assert_eq!(back.expand(&q, 3, 5), th.expand(&q, 3, 5));
+    }
+
+    #[test]
+    fn entries_are_deterministically_ordered() {
+        let th = builder().build(AssocMeasure::Emim);
+        let a = th.entries();
+        let b = builder().build(AssocMeasure::Emim).entries();
+        assert_eq!(a, b);
+        // sorted by text term, each term's block keeps ranked order
+        let mut terms: Vec<&String> = a.iter().map(|(t, _, _)| t).collect();
+        terms.dedup();
+        let mut sorted = terms.clone();
+        sorted.sort();
+        assert_eq!(terms, sorted);
     }
 }

@@ -1,0 +1,327 @@
+//! Crash-injection proof of the durable storage tier.
+//!
+//! The contract under test: a `MirrorDbms` saved into the page-granular
+//! store can be killed at *any* write — mid-WAL-append, mid-checkpoint,
+//! mid-remove — and a subsequent cold open either reconstructs an
+//! instance that ranks **bit-identically** to the never-crashed one, or
+//! reports a typed `IncompleteState` from which re-running the save
+//! converges. Checksummed pages mean silent bit corruption is
+//! *detected*, never served.
+//!
+//! Crash points are exercised two ways: exhaustively (every write index
+//! with a clean cut) and by property (random kill points with random
+//! torn tails), both against a cached never-crashed baseline.
+
+use mirror::core::query::RankedResult;
+use mirror::core::shard::MirrorCluster;
+use mirror::core::{MirrorDbms, RetrievalError, Retriever};
+use mirror::media::{CrawledImage, RobotConfig, WebRobot};
+use mirror::monet::storage::BitFlip;
+use mirror::monet::{FaultFs, FaultPlan, MemFs, StorageBackend, Store, StoreOptions};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::sync::{Arc, OnceLock};
+
+fn corpus() -> Vec<CrawledImage> {
+    WebRobot::new(RobotConfig { n_images: 18, image_size: 24, unannotated_fraction: 0.2, seed: 7 })
+        .crawl()
+}
+
+/// The query battery every recovered instance must answer bit-identically:
+/// text-only, dual-coded (thesaurus expansion), and structure+content.
+fn probe(r: &(impl Retriever + ?Sized)) -> Vec<Vec<RankedResult>> {
+    vec![
+        r.query_text("sunset over the water", 10).unwrap(),
+        r.query_text("forest ocean", 8).unwrap(),
+        r.query_dual("desert", 0.5, 10).unwrap(),
+        r.query_text_filtered("city", "img", 10).unwrap(),
+    ]
+}
+
+/// One ingested instance, its never-crashed durable images, and its
+/// rankings — built once, shared by every test below.
+struct Baseline {
+    db: MirrorDbms,
+    /// Fully saved *and* checkpointed: state lives in checksummed pages.
+    saved: MemFs,
+    /// Saved but never checkpointed: state recovers purely from the WAL.
+    wal_only: MemFs,
+    probes: Vec<Vec<RankedResult>>,
+    /// Mutating backend ops in one full save + checkpoint — the space of
+    /// injectable crash points.
+    total_writes: u64,
+}
+
+fn baseline() -> &'static Baseline {
+    static B: OnceLock<Baseline> = OnceLock::new();
+    B.get_or_init(|| {
+        let mut db = MirrorDbms::with_defaults();
+        db.ingest(&corpus()).unwrap();
+
+        // Full save through a fault-free FaultFs to count the writes.
+        let saved = MemFs::new();
+        let counter = Arc::new(FaultFs::new(Arc::new(saved.clone()), FaultPlan::default()));
+        let store = Store::open(counter.clone(), StoreOptions::default()).unwrap();
+        db.save_to(&store).unwrap();
+        store.checkpoint().unwrap();
+        let total_writes = counter.writes_issued();
+        assert!(total_writes > 10, "suspiciously few writes: {total_writes}");
+        drop(store);
+
+        let wal_only = MemFs::new();
+        let store = Store::open(Arc::new(wal_only.clone()), StoreOptions::default()).unwrap();
+        db.save_to(&store).unwrap();
+        drop(store);
+
+        let probes = probe(&db);
+        assert!(probes.iter().any(|p| !p.is_empty()), "baseline probes are all empty");
+        Baseline { db, saved, wal_only, probes, total_writes }
+    })
+}
+
+fn reopen(fs: &MemFs) -> Store {
+    Store::open(Arc::new(fs.clone()), StoreOptions::default()).unwrap()
+}
+
+/// Crash a save+checkpoint at write index `w` with `torn` garbage-free
+/// prefix bytes landing from the fatal write, then cold-open whatever
+/// survived and hold it to the contract.
+fn crash_and_check(w: u64, torn: usize) -> Result<(), TestCaseError> {
+    let b = baseline();
+    let fs = MemFs::new();
+    let plan = FaultPlan { crash_at_write: Some(w), torn_bytes: torn, flips: vec![] };
+    let fault = Arc::new(FaultFs::new(Arc::new(fs.clone()), plan));
+    let crashed = (|| -> Result<(), RetrievalError> {
+        let store = Store::open(fault.clone(), StoreOptions::default())?;
+        b.db.save_to(&store)?;
+        store.checkpoint()?;
+        Ok(())
+    })();
+    prop_assert!(crashed.is_err(), "crash at write {w} (torn {torn}) did not fire");
+    prop_assert!(fault.crashed());
+
+    let store = reopen(&fs);
+    match MirrorDbms::open_from(&store) {
+        Ok(db) => prop_assert_eq!(&probe(&db), &b.probes, "crash at write {} (torn {})", w, torn),
+        Err(RetrievalError::IncompleteState { .. }) => {
+            // the save never finished — re-running it must converge
+            b.db.save_to(&store).expect("healing save");
+            store.checkpoint().expect("healing checkpoint");
+            let store = reopen(&fs);
+            let db = MirrorDbms::open_from(&store).expect("open after healing save");
+            prop_assert_eq!(&probe(&db), &b.probes, "healed after crash at write {}", w);
+        }
+        Err(other) => {
+            return Err(TestCaseError::fail(format!(
+                "crash at write {w} (torn {torn}): unexpected error kind: {other}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cold_open_from_checkpointed_pages_matches_live_instance() {
+    let b = baseline();
+    let store = reopen(&b.saved);
+    assert_eq!(store.recovery().wal_keys, 0, "checkpoint should have folded the WAL");
+    let db = MirrorDbms::open_from(&store).unwrap();
+    assert_eq!(probe(&db), b.probes);
+    assert_eq!(db.n_docs(), b.db.n_docs());
+    assert_eq!(db.library_rows(), b.db.library_rows());
+}
+
+#[test]
+fn cold_open_from_wal_only_store_replays_the_log() {
+    let b = baseline();
+    let store = reopen(&b.wal_only);
+    let rec = store.recovery();
+    assert!(rec.wal_transactions > 0, "expected WAL replay, got {rec:?}");
+    let db = MirrorDbms::open_from(&store).unwrap();
+    assert_eq!(probe(&db), b.probes);
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_not_fatal() {
+    let b = baseline();
+    let fs = b.wal_only.fork();
+    // a crash tore the last record: append a partial frame
+    fs.append("wal.log", &[0xAB, 0x00, 0x00, 0x00, 0x17, 0x9c, 0x4e]).unwrap();
+    let store = reopen(&fs);
+    assert!(store.recovery().bytes_discarded > 0, "torn tail went unnoticed");
+    let db = MirrorDbms::open_from(&store).unwrap();
+    assert_eq!(probe(&db), b.probes);
+}
+
+#[test]
+fn crash_at_every_write_recovers_or_reports_incomplete() {
+    let b = baseline();
+    for w in 0..b.total_writes {
+        crash_and_check(w, 0).unwrap();
+    }
+}
+
+#[test]
+fn fresh_directory_reports_incomplete_state() {
+    let store = reopen(&MemFs::new());
+    match MirrorDbms::open_from(&store) {
+        Err(RetrievalError::IncompleteState { detail }) => {
+            assert!(detail.contains("no completion marker"), "detail: {detail}")
+        }
+        Ok(db) => panic!("expected IncompleteState, got an instance with {} docs", db.n_docs()),
+        Err(other) => panic!("expected IncompleteState, got {other}"),
+    }
+}
+
+#[test]
+fn pool_of_two_pages_and_unbounded_pool_rank_identically() {
+    let b = baseline();
+    let tiny = Store::open(Arc::new(b.saved.fork()), StoreOptions { pool_pages: 2 }).unwrap();
+    let unbounded = Store::open(Arc::new(b.saved.fork()), StoreOptions { pool_pages: 0 }).unwrap();
+    let db_tiny = MirrorDbms::open_from(&tiny).unwrap();
+    let db_unbounded = MirrorDbms::open_from(&unbounded).unwrap();
+    assert_eq!(probe(&db_tiny), b.probes);
+    assert_eq!(probe(&db_unbounded), b.probes);
+    let stats = tiny.pool_stats();
+    assert!(stats.evictions > 0, "a 2-page pool never evicting is not a pool: {stats:?}");
+}
+
+#[test]
+fn flip_during_write_is_caught_on_reopen() {
+    // silent corruption *on the write path*: the checkpoint's first page
+    // write lands with one bit flipped
+    let b = baseline();
+    let fs = MemFs::new();
+    let store = Store::open(Arc::new(fs.clone()), StoreOptions::default()).unwrap();
+    b.db.save_to(&store).unwrap();
+    drop(store);
+    // count the WAL writes so the flip targets the checkpoint phase
+    let counter = Arc::new(FaultFs::new(Arc::new(fs.fork()), FaultPlan::default()));
+    let probe_store = Store::open(counter.clone(), StoreOptions::default()).unwrap();
+    probe_store.checkpoint().unwrap();
+    drop(probe_store);
+    let flip = BitFlip { write_index: 0, offset: 40, mask: 0x10 };
+    let flipping = Arc::new(FaultFs::new(
+        Arc::new(fs.clone()),
+        FaultPlan { crash_at_write: None, torn_bytes: 0, flips: vec![flip] },
+    ));
+    let store = Store::open(flipping, StoreOptions::default()).unwrap();
+    store.checkpoint().unwrap();
+    drop(store);
+    // the flipped page must be detected — recovery falls back to the WAL
+    // generation or open reports corruption; either way the flipped bytes
+    // are never served as results
+    let store = reopen(&fs);
+    match MirrorDbms::open_from(&store) {
+        Ok(db) => assert_eq!(probe(&db), b.probes),
+        Err(RetrievalError::Storage(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("checksum") || msg.contains("corrupt"), "untyped: {msg}")
+        }
+        Err(RetrievalError::IncompleteState { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+}
+
+#[test]
+fn cluster_shards_persist_and_reopen_independently() {
+    let corpus = corpus();
+    let cluster = MirrorCluster::build(&corpus, 2, 2).unwrap();
+    let dir = scratch_dir("cluster");
+    cluster.save(&dir).unwrap();
+
+    let reopened = MirrorCluster::open(&dir).unwrap();
+    assert_eq!(probe(&reopened), probe(&cluster));
+    assert_eq!(reopened.stats().shards, 2);
+
+    // a shard directory is a complete store of its own: open one without
+    // its siblings and it serves its slice of the corpus
+    let shard0 = MirrorDbms::open(dir.join("shard-000")).unwrap();
+    assert_eq!(shard0.n_docs(), cluster.shard_docs(0).len());
+    assert!(!shard0.query_text("sunset over the water", 5).unwrap().is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_roundtrip_matches_memory_roundtrip() {
+    let b = baseline();
+    let dir = scratch_dir("disk");
+    b.db.save(&dir).unwrap();
+    let db = MirrorDbms::open(&dir).unwrap();
+    assert_eq!(probe(&db), b.probes);
+    // saving again over the same directory converges, not corrupts
+    db.save(&dir).unwrap();
+    let again = MirrorDbms::open(&dir).unwrap();
+    assert_eq!(probe(&again), b.probes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mirror-crash-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random kill point × random torn-tail length: recovery always ends
+    /// bit-identical (directly, or after one healing save).
+    #[test]
+    fn prop_random_crash_with_torn_tail_recovers(frac in 0.0f64..1.0, torn in 0usize..7) {
+        let b = baseline();
+        let w = ((frac * b.total_writes as f64) as u64).min(b.total_writes - 1);
+        crash_and_check(w, torn)?;
+    }
+
+    /// A bit flipped anywhere in a durable page file is detected at open
+    /// or read time — never silently served. (Flips that land in a page's
+    /// zero padding are invisible to the checksum by design: padding is
+    /// never part of a decoded value, so results must still match.)
+    #[test]
+    fn prop_bit_flip_in_page_file_is_detected_never_served(
+        file_frac in 0.0f64..1.0,
+        offset_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let b = baseline();
+        let fs = b.saved.fork();
+        let pages: Vec<String> =
+            fs.list().unwrap().into_iter().filter(|f| f.starts_with("pages-")).collect();
+        prop_assert!(!pages.is_empty());
+        let file = &pages[((file_frac * pages.len() as f64) as usize).min(pages.len() - 1)];
+        let len = fs.read(file).unwrap().len();
+        let offset = ((offset_frac * len as f64) as usize).min(len - 1);
+        fs.corrupt(file, offset, 1 << bit).unwrap();
+
+        match Store::open(Arc::new(fs.clone()), StoreOptions::default()) {
+            // flip hit the footer/manifest: the whole generation is
+            // rejected and, with the WAL already folded, nothing remains
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(
+                    msg.contains("checksum") || msg.contains("corrupt") || msg.contains("version"),
+                    "untyped open failure: {}", msg
+                );
+            }
+            Ok(store) => match MirrorDbms::open_from(&store) {
+                // flip hit page padding or an undecoded region
+                Ok(db) => prop_assert_eq!(&probe(&db), &b.probes),
+                // flip hit a data page: checksum rejects it at read time
+                Err(RetrievalError::Storage(_)) | Err(RetrievalError::IncompleteState { .. }) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!("unexpected error kind: {other}")))
+                }
+            },
+        }
+    }
+}
