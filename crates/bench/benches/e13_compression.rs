@@ -1,0 +1,47 @@
+//! E13 — block-compressed postings with block-max pruning.
+//!
+//! A 100k-document Zipf corpus, evaluated two ways with the same belief
+//! model and the same results (the harness asserts bit-identity before
+//! timing):
+//!
+//! * `raw_daat`: the pre-compression reference — document-at-a-time over
+//!   fully decoded posting vectors with list-level threshold pruning
+//!   (`topk_beliefs_raw` over a pre-built `RawPostings`, so decode cost is
+//!   not what is being measured);
+//! * `blockmax`: the shipped path — WAND pivoting over the compressed
+//!   blocks, undecoded block skips via the `last_doc` metadata, block-max
+//!   `max_tf` refinement at the pivot (`topk_beliefs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir::{topk_beliefs, topk_beliefs_raw, BeliefParams, RawPostings};
+use mirror_bench::{compression_index, compression_queries};
+
+const DOCS: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let index = compression_index(DOCS, 42);
+    let raw = RawPostings::from_index(&index);
+    let params = BeliefParams::default();
+
+    let mut group = c.benchmark_group("e13_compression");
+    group.sample_size(10);
+    for (label, query) in compression_queries() {
+        for &k in &[10usize, 100] {
+            let fast = topk_beliefs(&index, params, &query, None, k, 1);
+            let slow = topk_beliefs_raw(&index, &raw, params, &query, None, k, 1);
+            assert_eq!(fast.hits, slow.hits, "paths diverge on {label} k={k}");
+            let raw_id = format!("raw_daat_{label}");
+            let fast_id = format!("blockmax_{label}");
+            group.bench_with_input(BenchmarkId::new(raw_id.as_str(), k), &k, |b, &k| {
+                b.iter(|| topk_beliefs_raw(&index, &raw, params, &query, None, k, 1))
+            });
+            group.bench_with_input(BenchmarkId::new(fast_id.as_str(), k), &k, |b, &k| {
+                b.iter(|| topk_beliefs(&index, params, &query, None, k, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

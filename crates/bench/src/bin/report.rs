@@ -28,6 +28,7 @@ fn main() {
     e10();
     e11();
     e12();
+    e13();
     println!("\nreport complete.");
 }
 
@@ -524,4 +525,52 @@ fn e12() {
             })
             .max(1e-6),
     );
+}
+
+/// E13: block-compressed postings with block-max pruning on the belief
+/// path — space and speed against the raw-vec reference evaluator.
+fn e13() {
+    use ir::{topk_beliefs, topk_beliefs_raw, BeliefParams, RawPostings};
+    use mirror_bench::{compression_index, compression_queries};
+    println!("## E13 — postings compression & block-max pruning (100k-doc Zipf corpus)\n");
+    let index = compression_index(100_000, 42);
+    let raw = RawPostings::from_index(&index);
+    let params = BeliefParams::default();
+
+    let compressed = index.postings_heap_bytes();
+    let raw_bytes = index.raw_postings_bytes();
+    let n = index.n_docs() as f64;
+    println!(
+        "postings: {} in {} KiB compressed vs {} KiB raw — {:.2} vs {:.2} bytes/doc \
+         ({:.1}× smaller)\n",
+        raw.total_postings(),
+        compressed / 1024,
+        raw_bytes / 1024,
+        compressed as f64 / n,
+        raw_bytes as f64 / n,
+        raw_bytes as f64 / compressed.max(1) as f64,
+    );
+
+    println!("| query | k | raw daat (ms) | blockmax (ms) | speedup | blocks skipped | pruned | identical |");
+    println!("|-------|--:|--------------:|--------------:|--------:|---------------:|-------:|----------:|");
+    for (label, query) in compression_queries() {
+        for &k in &[10usize, 100] {
+            let fast = topk_beliefs(&index, params, &query, None, k, 1);
+            let slow = topk_beliefs_raw(&index, &raw, params, &query, None, k, 1);
+            let identical = fast.hits == slow.hits;
+            let t_raw = median_time_ms(5, || {
+                topk_beliefs_raw(&index, &raw, params, &query, None, k, 1);
+            });
+            let t_fast = median_time_ms(5, || {
+                topk_beliefs(&index, params, &query, None, k, 1);
+            });
+            println!(
+                "| {label} | {k} | {t_raw:.2} | {t_fast:.2} | {:.1}× | {} | {} | {identical} |",
+                t_raw / t_fast.max(1e-6),
+                fast.blocks_skipped,
+                fast.pruned,
+            );
+        }
+    }
+    println!("\nacceptance: ≥ 1.3× at k = 10, nonzero blocks skipped, identical = true\n");
 }

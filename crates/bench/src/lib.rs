@@ -130,6 +130,52 @@ pub fn kernel_scan_aggr_plan() -> monet::Plan {
     monet::Plan::Aggr { input: Box::new(kernel_scan_plan()), agg: monet::Agg::Sum }
 }
 
+/// A large skewed text index for the postings-compression experiments
+/// (E13), built directly at the ir level: `n` documents of 6–14 tokens
+/// drawn Zipf-style from a 2 000-term vocabulary (term *i* with weight
+/// ∝ 1/(i+1)), so head terms have long dense posting runs and tail terms
+/// are short and selective — with natural within-document repeats for tf
+/// variance across blocks.
+pub fn compression_index(n: usize, seed: u64) -> ir::InvertedIndex {
+    let vocab: Vec<String> = (0..2_000).map(|i| format!("t{i}")).collect();
+    let cum: Vec<f64> = vocab
+        .iter()
+        .enumerate()
+        .scan(0.0, |acc, (i, _)| {
+            *acc += 1.0 / (i + 1) as f64;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cum.last().expect("nonempty vocabulary");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ir::IndexBuilder::new();
+    for _ in 0..n {
+        let len = rng.gen_range(6..=14);
+        let toks: Vec<&str> = (0..len)
+            .map(|_| {
+                let x = rng.gen_range(0.0..total);
+                vocab[cum.partition_point(|&c| c < x)].as_str()
+            })
+            .collect();
+        b.add_tokens(&toks);
+    }
+    b.build()
+}
+
+/// The E13 query battery. The headline shape is *head + tail*: a dense
+/// head list paired with selective tail terms whose high-idf postings
+/// drive the threshold up, so the pivot leaps the head cursor in
+/// multi-block strides — the workload block-max skipping exists for.
+/// `head-heavy` (all-dense, nothing to leap) and `selective` (all-sparse,
+/// nothing worth leaping) bracket it.
+pub fn compression_queries() -> Vec<(&'static str, Vec<(&'static str, f64)>)> {
+    vec![
+        ("head+tail", vec![("t1", 1.0), ("t400", 1.0), ("t900", 1.0)]),
+        ("head-heavy", vec![("t0", 1.0), ("t3", 1.0), ("t12", 1.0)]),
+        ("selective", vec![("t150", 1.0), ("t500", 1.0), ("t1200", 1.0)]),
+    ]
+}
+
 /// Wall-clock one closure in milliseconds.
 pub fn time_ms<F: FnMut()>(mut f: F) -> f64 {
     let t0 = std::time::Instant::now();

@@ -50,7 +50,9 @@ use std::sync::Arc;
 use thesaurus::{AssocMeasure, AssociationThesaurus};
 
 /// Version of the durable store layout this build reads and writes.
-pub const STORE_FORMAT: u32 = 1;
+/// v2 carries the block-compressed inverted-index blobs
+/// ([`ir::INDEX_FORMAT_VERSION`] 2); v1 stores are rejected on open.
+pub const STORE_FORMAT: u32 = 2;
 
 /// Library rows per columnar batch.
 const BATCH: usize = 512;

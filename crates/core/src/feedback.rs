@@ -102,7 +102,7 @@ fn top_terms(
         if have.contains(term) {
             continue;
         }
-        let posts = index.postings_by_id(tid);
+        let Some(posts) = index.postings_by_id(tid) else { continue };
         let df = posts.len() as f64;
         if df == 0.0 {
             continue;
@@ -110,9 +110,7 @@ fn top_terms(
         let idf = ((stats.n_docs as f64 + 0.5) / df).ln();
         let mut tf_sum = 0u32;
         for &doc in relevant {
-            if let Ok(i) = posts.binary_search_by_key(&doc, |p| p.doc) {
-                tf_sum += posts[i].tf;
-            }
+            tf_sum += posts.tf_of(doc);
         }
         if tf_sum > 0 {
             scores.insert(term.to_string(), tf_sum as f64 * idf);

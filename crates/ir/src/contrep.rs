@@ -324,7 +324,10 @@ fn register_topk_bl_op(ops: &OpRegistry, store: Arc<ContrepStore>) {
         let degree = ctx.frag_degree(index.n_docs());
         let out =
             crate::topk::topk_beliefs(&index, store.params(), &query, domain.as_ref(), k, degree);
-        ctx.set_note(format!("topk ×{k} (pruned {} docs)", out.pruned));
+        ctx.set_note(format!(
+            "topk ×{k} (pruned {} docs, skipped {} blocks / {} postings)",
+            out.pruned, out.blocks_skipped, out.skipped_postings
+        ));
         let (docs, scores): (Vec<Oid>, Vec<f64>) = out.hits.into_iter().unzip();
         Bat::new(Column::Oid(docs), Column::Float(scores))
     });

@@ -6,10 +6,18 @@
 //! it as BATs, which is what "implementing an IR model on a binary
 //! relational physical data model" means in practice — the ranking
 //! operators are then ordinary (custom) kernel operators over columns.
+//!
+//! Postings are held block-compressed ([`crate::postings::PostingList`]):
+//! delta-encoded doc ids and bitpacked tfs in fixed-size blocks, each
+//! carrying block-max metadata. Consumers that stream postings use the
+//! block API ([`InvertedIndex::postings_list`]); [`InvertedIndex::postings`]
+//! keeps the decoded raw-vec shape as a compatibility path.
 
 use crate::dict::TermDict;
+use crate::postings::PostingList;
 use crate::text::tokenize_stemmed;
-use monet::{Bat, Catalog, Column, Oid};
+use monet::storage::{ByteReader, ByteWriter, ENDIAN_SENTINEL};
+use monet::{Bat, Catalog, Column, MonetError, Oid};
 
 /// One posting: a document and the term's frequency within it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +27,14 @@ pub struct Posting {
     /// Term frequency.
     pub tf: u32,
 }
+
+/// Magic prefix of a serialised index blob.
+const INDEX_MAGIC: &[u8; 7] = b"MIRRIDX";
+
+/// On-disk format version of [`InvertedIndex::to_bytes`] this build reads
+/// and writes. v1 was the unversioned raw-posting layout (no magic); v2
+/// stores the block-compressed postings directly.
+pub const INDEX_FORMAT_VERSION: u8 = 2;
 
 /// Global collection statistics (the paper's `stats` structure).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,8 +53,8 @@ pub struct CollectionStats {
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     dict: TermDict,
-    /// Postings per term id, document-ordered.
-    postings: Vec<Vec<Posting>>,
+    /// Block-compressed postings per term id, document-ordered.
+    postings: Vec<PostingList>,
     /// Document frequency per term id.
     df: Vec<u32>,
     /// Collection frequency per term id.
@@ -62,15 +78,24 @@ impl InvertedIndex {
         &self.dict
     }
 
-    /// Postings list of a term, if the term occurs.
-    pub fn postings(&self, term: &str) -> Option<&[Posting]> {
-        let tid = self.dict.lookup(term)?;
-        Some(&self.postings[tid as usize])
+    /// Postings of a term decoded into the raw-vec shape, if the term
+    /// occurs — the compatibility path for tuple- and set-at-a-time
+    /// consumers. Streaming consumers should use
+    /// [`postings_list`](Self::postings_list) and decode block-at-a-time.
+    pub fn postings(&self, term: &str) -> Option<Vec<Posting>> {
+        Some(self.postings_list(term)?.to_vec())
     }
 
-    /// Postings by term id.
-    pub fn postings_by_id(&self, tid: u32) -> &[Posting] {
-        &self.postings[tid as usize]
+    /// The block-compressed postings of a term, if the term occurs.
+    pub fn postings_list(&self, term: &str) -> Option<&PostingList> {
+        let tid = self.dict.lookup(term)?;
+        self.postings.get(tid as usize)
+    }
+
+    /// The block-compressed postings of a term id, `None` when the id is
+    /// outside the dictionary.
+    pub fn postings_by_id(&self, tid: u32) -> Option<&PostingList> {
+        self.postings.get(tid as usize)
     }
 
     /// Document frequency of a term (0 when absent).
@@ -99,9 +124,9 @@ impl InvertedIndex {
 
     /// Term frequency of `term` in `doc` — a per-document lookup, the
     /// operation a tuple-at-a-time engine performs per (doc, term) pair.
+    /// Touches exactly one compressed block.
     pub fn tf(&self, term: &str, doc: Oid) -> u32 {
-        let Some(posts) = self.postings(term) else { return 0 };
-        posts.binary_search_by_key(&doc, |p| p.doc).map(|i| posts[i].tf).unwrap_or(0)
+        self.postings_list(term).map_or(0, |posts| posts.tf_of(doc))
     }
 
     /// Collection statistics. For a [shard projection](Self::shard_projection)
@@ -122,6 +147,18 @@ impl InvertedIndex {
         }
     }
 
+    /// Heap bytes held by the compressed posting lists (payload words plus
+    /// skip indexes) — the numerator of the §E13 bytes-per-document metric.
+    pub fn postings_heap_bytes(&self) -> usize {
+        self.postings.iter().map(PostingList::heap_bytes).sum()
+    }
+
+    /// Bytes the same postings would occupy in the raw-vec representation
+    /// (8 bytes per posting) — the §E13 baseline.
+    pub fn raw_postings_bytes(&self) -> usize {
+        self.postings.iter().map(|p| p.len() * std::mem::size_of::<Posting>()).sum()
+    }
+
     /// Project the index onto a subset of its documents (ascending global
     /// doc ids), remapping them to dense local oids `0..docs.len()` —
     /// the index a corpus shard serves in a scatter-gather deployment.
@@ -129,11 +166,12 @@ impl InvertedIndex {
     /// The projection keeps the parent's *global* term statistics: the
     /// dictionary, `df`, `cf` and `max_tf` arrays are inherited unchanged,
     /// and [`stats`](Self::stats) is pinned to the parent's values. Only
-    /// postings and document lengths are restricted. A belief scored for a
-    /// document through the projection is therefore the same
-    /// floating-point value the parent index produces, and per-shard
-    /// top-k heaps merge into exactly the single-node ranking
-    /// ([`crate::topk::TopKAccumulator::merge`]).
+    /// postings and document lengths are restricted — each surviving
+    /// posting run is re-cut into fresh compressed blocks over the local
+    /// oids. A belief scored for a document through the projection is
+    /// therefore the same floating-point value the parent index produces,
+    /// and per-shard top-k heaps merge into exactly the single-node
+    /// ranking ([`crate::topk::TopKAccumulator::merge`]).
     ///
     /// # Panics
     /// Panics if `docs` is not strictly ascending or contains an id
@@ -152,15 +190,20 @@ impl InvertedIndex {
         for (i, &d) in docs.iter().enumerate() {
             local[d as usize] = i as Oid;
         }
+        let mut scratch = Vec::new();
         let postings = self
             .postings
             .iter()
             .map(|posts| {
-                posts
-                    .iter()
-                    .filter(|p| local[p.doc as usize] != Oid::MAX)
-                    .map(|p| Posting { doc: local[p.doc as usize], tf: p.tf })
-                    .collect()
+                scratch.clear();
+                scratch.extend(
+                    posts
+                        .to_vec()
+                        .into_iter()
+                        .filter(|p| local[p.doc as usize] != Oid::MAX)
+                        .map(|p| Posting { doc: local[p.doc as usize], tf: p.tf }),
+                );
+                PostingList::from_postings(&scratch)
             })
             .collect();
         InvertedIndex {
@@ -198,7 +241,7 @@ impl InvertedIndex {
         let mut post_d = Vec::new();
         let mut post_tf = Vec::new();
         for (tid, posts) in self.postings.iter().enumerate() {
-            for p in posts {
+            for p in posts.to_vec() {
                 post_t.push(tid as Oid);
                 post_d.push(p.doc);
                 post_tf.push(p.tf as i64);
@@ -214,31 +257,31 @@ impl InvertedIndex {
     }
 
     /// Serialise the whole index — dictionary, postings, statistics and
-    /// any pinned parent statistics — into a self-contained byte blob
-    /// (the storage tier's little-endian codec). Shard projections stay
-    /// projections across a save/open cycle: the pinned global
-    /// statistics travel with the blob, so a reopened shard ranks
-    /// bit-identically to the original.
+    /// any pinned parent statistics — into a self-contained versioned byte
+    /// blob (the storage tier's little-endian codec). The compressed
+    /// posting blocks are written verbatim: nothing is decoded on the way
+    /// to disk, so the on-disk and in-RAM representations shrink together.
+    /// Shard projections stay projections across a save/open cycle: the
+    /// pinned global statistics travel with the blob, so a reopened shard
+    /// ranks bit-identically to the original.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = monet::storage::ByteWriter::new();
+        let mut w = ByteWriter::new();
+        w.bytes(INDEX_MAGIC);
+        w.u8(INDEX_FORMAT_VERSION);
+        w.u16(ENDIAN_SENTINEL);
+        w.u64(self.doc_len.len() as u64);
+        for &dl in &self.doc_len {
+            w.u32(dl);
+        }
         w.u64(self.dict.len() as u64);
         for (_, term) in self.dict.iter() {
             w.str(term);
         }
         for tid in 0..self.dict.len() {
-            let posts = &self.postings[tid];
-            w.u64(posts.len() as u64);
-            for p in posts {
-                w.u32(p.doc);
-                w.u32(p.tf);
-            }
             w.u32(self.df[tid]);
             w.u64(self.cf[tid]);
             w.u32(self.max_tf[tid]);
-        }
-        w.u64(self.doc_len.len() as u64);
-        for &dl in &self.doc_len {
-            w.u32(dl);
+            self.postings[tid].write_to(&mut w);
         }
         match &self.pinned_stats {
             None => w.u8(0),
@@ -254,14 +297,44 @@ impl InvertedIndex {
     }
 
     /// Decode an index serialised by [`to_bytes`](Self::to_bytes).
-    /// Every length is validated before allocation; torn or corrupted
-    /// blobs come back as [`monet::MonetError::Corrupt`].
+    ///
+    /// A blob carrying any other format version — including the legacy v1
+    /// raw-posting layout, which had no magic prefix — is rejected with a
+    /// typed [`monet::MonetError::FormatVersion`] before any payload is
+    /// decoded. Every length is validated before allocation and every
+    /// posting block is cross-checked against its block-max metadata;
+    /// torn or corrupted blobs come back as [`monet::MonetError::Corrupt`].
     pub fn from_bytes(bytes: &[u8]) -> monet::Result<InvertedIndex> {
-        let mut r = monet::storage::ByteReader::new(bytes, "inverted index");
-        let corrupt = |detail: String| monet::MonetError::Corrupt {
-            what: "inverted index".to_string(),
-            detail,
-        };
+        let corrupt =
+            |detail: String| MonetError::Corrupt { what: "inverted index".to_string(), detail };
+        if bytes.len() < INDEX_MAGIC.len() + 3 || &bytes[..INDEX_MAGIC.len()] != INDEX_MAGIC {
+            // the legacy v1 layout started straight with the dictionary
+            // length — no magic to check, so any unmagicked blob is
+            // rejected as the version we no longer read
+            return Err(MonetError::FormatVersion {
+                found: 1,
+                expected: INDEX_FORMAT_VERSION as u32,
+            });
+        }
+        let version = bytes[INDEX_MAGIC.len()];
+        if version != INDEX_FORMAT_VERSION {
+            return Err(MonetError::FormatVersion {
+                found: version as u32,
+                expected: INDEX_FORMAT_VERSION as u32,
+            });
+        }
+        let mut r = ByteReader::new(&bytes[INDEX_MAGIC.len() + 1..], "inverted index");
+        let sentinel = r.u16()?;
+        if sentinel != ENDIAN_SENTINEL {
+            return Err(corrupt(format!(
+                "endianness sentinel {sentinel:#06x} — written with a different byte order"
+            )));
+        }
+        let n_docs = r.len64(r.remaining() / 4)?;
+        let mut doc_len = Vec::with_capacity(n_docs);
+        for _ in 0..n_docs {
+            doc_len.push(r.u32()?);
+        }
         let n_terms = r.len64(r.remaining())?;
         let mut dict = TermDict::new();
         for _ in 0..n_terms {
@@ -275,22 +348,10 @@ impl InvertedIndex {
         let mut cf = Vec::with_capacity(n_terms);
         let mut max_tf = Vec::with_capacity(n_terms);
         for _ in 0..n_terms {
-            let n_posts = r.len64(r.remaining() / 8)?;
-            let mut posts = Vec::with_capacity(n_posts);
-            for _ in 0..n_posts {
-                let doc = r.u32()?;
-                let tf = r.u32()?;
-                posts.push(Posting { doc, tf });
-            }
-            postings.push(posts);
             df.push(r.u32()?);
             cf.push(r.u64()?);
             max_tf.push(r.u32()?);
-        }
-        let n_docs = r.len64(r.remaining() / 4)?;
-        let mut doc_len = Vec::with_capacity(n_docs);
-        for _ in 0..n_docs {
-            doc_len.push(r.u32()?);
+            postings.push(PostingList::read_from(&mut r, n_docs)?);
         }
         let pinned_stats = match r.u8()? {
             0 => None,
@@ -305,11 +366,20 @@ impl InvertedIndex {
         if !r.is_exhausted() {
             return Err(corrupt(format!("{} trailing bytes", r.remaining())));
         }
-        for posts in &postings {
-            if let Some(p) = posts.iter().find(|p| p.doc as usize >= n_docs) {
+        // a self-contained index must have df == postings; a shard
+        // projection's df is the parent's global count, so only the
+        // inequality direction holds there
+        for (tid, posts) in postings.iter().enumerate() {
+            let ok = if pinned_stats.is_some() {
+                posts.len() <= df[tid] as usize
+            } else {
+                posts.len() == df[tid] as usize
+            };
+            if !ok {
                 return Err(corrupt(format!(
-                    "posting references doc {} outside collection of {n_docs}",
-                    p.doc
+                    "term {tid}: {} postings but df {}",
+                    posts.len(),
+                    df[tid]
                 )));
             }
         }
@@ -365,14 +435,16 @@ impl IndexBuilder {
         }
     }
 
-    /// Freeze into an immutable index.
+    /// Freeze into an immutable index, compressing each posting run into
+    /// blocks.
     pub fn build(self) -> InvertedIndex {
         let df = self.postings.iter().map(|p| p.len() as u32).collect();
         let max_tf =
             self.postings.iter().map(|p| p.iter().map(|post| post.tf).max().unwrap_or(0)).collect();
+        let postings = self.postings.iter().map(|p| PostingList::from_postings(p)).collect();
         InvertedIndex {
             dict: self.dict,
-            postings: self.postings,
+            postings,
             df,
             cf: self.cf,
             max_tf,
@@ -405,6 +477,20 @@ mod tests {
         assert_eq!(posts.len(), 2);
         assert_eq!(posts[0].doc, 0);
         assert_eq!(posts[1].doc, 3);
+        // the block view agrees with the decoded view
+        let list = idx.postings_list("sunset").unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.to_vec(), posts);
+    }
+
+    #[test]
+    fn postings_by_id_is_validated() {
+        let idx = small_index();
+        let tid = idx.dict().lookup("sunset").unwrap();
+        assert_eq!(idx.postings_by_id(tid).unwrap().len(), 2);
+        // out-of-range ids are None, not a panic
+        assert!(idx.postings_by_id(u32::MAX).is_none());
+        assert!(idx.postings_by_id(idx.dict().len() as u32).is_none());
     }
 
     #[test]
@@ -444,6 +530,22 @@ mod tests {
         assert_eq!(s.n_docs, 4);
         assert!(s.n_terms >= 6);
         assert!((s.avg_dl - s.total_tokens as f64 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compressed_postings_use_fewer_bytes_than_raw() {
+        let mut b = IndexBuilder::new();
+        for d in 0..2000 {
+            let toks: Vec<String> = (0..6).map(|j| format!("w{}", (d * 3 + j * 5) % 40)).collect();
+            b.add_tokens(&toks);
+        }
+        let idx = b.build();
+        assert!(
+            idx.postings_heap_bytes() * 2 < idx.raw_postings_bytes(),
+            "compressed {} vs raw {}",
+            idx.postings_heap_bytes(),
+            idx.raw_postings_bytes()
+        );
     }
 
     #[test]
@@ -499,7 +601,7 @@ mod tests {
         // a term whose postings all live on other shards keeps its global
         // df but has no local postings ("forest" occurs only in doc 1)
         let other = idx.shard_projection(&[0, 2]);
-        assert_eq!(other.postings("forest").map(<[Posting]>::len), Some(0));
+        assert_eq!(other.postings("forest").map(|p| p.len()), Some(0));
         assert_eq!(other.df("forest"), 1);
     }
 
@@ -511,11 +613,31 @@ mod tests {
         assert_eq!(a.n_docs() + b.n_docs(), idx.n_docs());
         // every posting of every term lands on exactly one shard
         for term in ["sunset", "beach", "forest", "mist"] {
-            let total = idx.postings(term).map_or(0, <[Posting]>::len);
-            let split = a.postings(term).map_or(0, <[Posting]>::len)
-                + b.postings(term).map_or(0, <[Posting]>::len);
+            let total = idx.postings(term).map_or(0, |p| p.len());
+            let split =
+                a.postings(term).map_or(0, |p| p.len()) + b.postings(term).map_or(0, |p| p.len());
             assert_eq!(split, total, "{term}");
         }
+    }
+
+    #[test]
+    fn shard_projection_recuts_blocks_over_local_oids() {
+        // 400 docs, every one containing the term: the projection must
+        // re-cut the compressed blocks over local ids, not keep global ids
+        let mut b = IndexBuilder::new();
+        for d in 0..400u32 {
+            b.add_tokens(&["every", if d % 2 == 0 { "even" } else { "odd" }]);
+        }
+        let idx = b.build();
+        let docs: Vec<Oid> = (0..400).filter(|d| d % 2 == 0).collect();
+        let shard = idx.shard_projection(&docs);
+        let list = shard.postings_list("even").unwrap();
+        assert_eq!(list.len(), 200);
+        assert_eq!(list.blocks().len(), 200usize.div_ceil(crate::postings::BLOCK_LEN));
+        let decoded = list.to_vec();
+        // local oids are dense over the shard: 0, 1, 2, …
+        assert!(decoded.iter().enumerate().all(|(i, p)| p.doc == i as Oid));
+        assert!(list.blocks().last().unwrap().last_doc < 200);
     }
 
     #[test]
@@ -553,6 +675,46 @@ mod tests {
     }
 
     #[test]
+    fn blob_stores_postings_compressed() {
+        let mut b = IndexBuilder::new();
+        for d in 0..3000 {
+            let toks: Vec<String> = (0..8).map(|j| format!("w{}", (d + j * 7) % 50)).collect();
+            b.add_tokens(&toks);
+        }
+        let idx = b.build();
+        let blob = idx.to_bytes();
+        // well under the 8 raw bytes per posting the v1 layout used
+        assert!(
+            blob.len() < idx.raw_postings_bytes(),
+            "blob {} vs raw postings {}",
+            blob.len(),
+            idx.raw_postings_bytes()
+        );
+        let back = InvertedIndex::from_bytes(&blob).unwrap();
+        assert_eq!(back.postings("w0"), idx.postings("w0"));
+    }
+
+    #[test]
+    fn legacy_v1_blob_is_rejected_with_typed_version_error() {
+        // the v1 layout began with the u64 dictionary length — no magic
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        w.str("sunset");
+        let err = InvertedIndex::from_bytes(&w.into_bytes()).unwrap_err();
+        assert_eq!(err, MonetError::FormatVersion { found: 1, expected: 2 });
+    }
+
+    #[test]
+    fn future_version_is_rejected_before_decode() {
+        let mut blob = small_index().to_bytes();
+        blob[INDEX_MAGIC.len()] = 9;
+        assert_eq!(
+            InvertedIndex::from_bytes(&blob).unwrap_err(),
+            MonetError::FormatVersion { found: 9, expected: 2 }
+        );
+    }
+
+    #[test]
     fn truncated_or_flipped_blob_is_typed_corrupt() {
         let bytes = small_index().to_bytes();
         for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
@@ -567,10 +729,10 @@ mod tests {
         let mid = blob.len() / 2;
         blob[mid] ^= 0xFF;
         if let Ok(back) = InvertedIndex::from_bytes(&blob) {
-            // decode may survive a flip in, say, a tf value — but doc
+            // decode may survive a flip in, say, a cf value — but doc
             // references must still be in range
             for tid in 0..back.dict().len() as u32 {
-                for p in back.postings_by_id(tid) {
+                for p in back.postings_by_id(tid).unwrap().to_vec() {
                     assert!((p.doc as usize) < back.n_docs());
                 }
             }

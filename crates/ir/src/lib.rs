@@ -29,13 +29,15 @@ pub mod contrep;
 pub mod dict;
 pub mod index;
 pub mod net;
+pub mod postings;
 pub mod text;
 pub mod topk;
 
 pub use belief::{BeliefParams, DEFAULT_BELIEF};
 pub use contrep::{register_contrep, Contrep, ContrepStore};
 pub use dict::TermDict;
-pub use index::{CollectionStats, IndexBuilder, InvertedIndex};
+pub use index::{CollectionStats, IndexBuilder, InvertedIndex, INDEX_FORMAT_VERSION};
 pub use net::{QueryNode, Ranker};
+pub use postings::{BlockMeta, PostingList, BLOCK_LEN};
 pub use text::{is_stopword, porter_stem, tokenize, tokenize_stemmed};
-pub use topk::{topk_beliefs, TopKAccumulator, TopKOutcome};
+pub use topk::{topk_beliefs, topk_beliefs_raw, RawPostings, TopKAccumulator, TopKOutcome};

@@ -1,4 +1,4 @@
-//! Streaming top-k belief evaluation with threshold pruning.
+//! Streaming top-k belief evaluation with block-max pruning.
 //!
 //! The materialise-then-sort retrieval path computes a belief for *every*
 //! document, groups, sorts, and only then keeps the best k — a full pass of
@@ -9,11 +9,20 @@
 //!   `(oid, score)` pairs (score descending, ties broken by ascending oid,
 //!   exactly like the facade's sort) and exposes the current admission
 //!   threshold;
-//! * [`topk_beliefs`] — a document-at-a-time merge over the query terms'
-//!   postings that scores each candidate **in the same floating-point
-//!   order as the materialise path** (so results are bit-identical) and
-//!   skips documents whose per-term belief upper bounds
-//!   ([`BeliefParams::belief_bound`]) prove they cannot enter the top k;
+//! * [`topk_beliefs`] — a WAND-style document-at-a-time merge over the
+//!   query terms' *compressed* postings ([`crate::postings::PostingList`]).
+//!   Cursors stay sorted by their current document; the prefix sum of
+//!   per-term belief upper bounds ([`BeliefParams::belief_bound`]) picks
+//!   the pivot — the first document that could still enter the top k —
+//!   and every cursor before it leaps forward. A leap that clears a whole
+//!   block skips its decode entirely (the block metadata carries the last
+//!   doc id), and at the pivot the block-max `max_tf` refines the upper
+//!   bound once more before any tf is unpacked. Documents that survive are
+//!   scored **in the same floating-point order as the materialise path**,
+//!   so results are bit-identical;
+//! * [`topk_beliefs_raw`] — the pre-compression reference evaluator over
+//!   decoded posting vectors ([`RawPostings`]), kept as the §E13 baseline
+//!   and the property-test oracle;
 //! * fragment-parallel accumulation: the document-id space splits into
 //!   [`monet::fragment::bounds`] spans, each span fills its own
 //!   accumulator on a scoped thread, and the per-fragment heaps merge at
@@ -21,7 +30,8 @@
 //!   parallel result is bit-identical to serial at every degree.
 
 use crate::belief::BeliefParams;
-use crate::index::{InvertedIndex, Posting};
+use crate::index::{CollectionStats, InvertedIndex, Posting};
+use crate::postings::PostingList;
 use monet::fxhash::FxHashSet;
 use monet::Oid;
 use std::cmp::Ordering;
@@ -119,7 +129,17 @@ impl TopKAccumulator {
     }
 
     /// Fold another accumulator's entries in (the per-fragment merge).
+    /// An empty donor is a no-op, and an empty receiver adopts the donor's
+    /// heap wholesale when it fits — the common scatter-gather shapes pay
+    /// nothing per element.
     pub fn merge(&mut self, other: TopKAccumulator) {
+        if other.heap.is_empty() {
+            return;
+        }
+        if self.heap.is_empty() && other.heap.len() <= self.k {
+            self.heap = other.heap;
+            return;
+        }
         for Reverse(e) in other.heap {
             self.push(e.oid, e.score);
         }
@@ -137,16 +157,41 @@ impl TopKAccumulator {
 pub struct TopKOutcome {
     /// The k best `(oid, score)` pairs in rank order.
     pub hits: Vec<(Oid, f64)>,
-    /// Candidate documents skipped because their belief upper bound could
-    /// not beat the running threshold.
+    /// Pivot candidates discarded by the block-max refinement — the
+    /// per-block `max_tf` bound proved them under the threshold without
+    /// unpacking a single tf.
     pub pruned: u64,
     /// Candidate documents fully scored.
     pub scored: u64,
+    /// Compressed blocks passed over without decoding.
+    pub blocks_skipped: u64,
+    /// Postings passed over without scoring their document — cursor leaps
+    /// inside decoded blocks plus everything inside skipped blocks.
+    pub skipped_postings: u64,
 }
 
-/// Per-query-term evaluation context, resolved once per request.
-struct TermCtx<'a> {
-    posts: &'a [Posting],
+impl TopKOutcome {
+    fn empty() -> TopKOutcome {
+        TopKOutcome {
+            hits: Vec::new(),
+            pruned: 0,
+            scored: 0,
+            blocks_skipped: 0,
+            skipped_postings: 0,
+        }
+    }
+}
+
+/// Decode-avoidance counters threaded through cursor seeks.
+#[derive(Debug, Clone, Copy, Default)]
+struct Skips {
+    blocks: u64,
+    postings: u64,
+}
+
+/// Per-query-term request state, resolved once per request.
+struct TermInfo<'a> {
+    list: Option<&'a PostingList>,
     w: f64,
     df: u32,
     /// The term's greatest possible score contribution beyond the default
@@ -154,9 +199,149 @@ struct TermCtx<'a> {
     cbound: f64,
 }
 
+/// A streaming cursor over one term's compressed postings, restricted to a
+/// document span `[lo, hi)`. The cursor is either *parked* at the first
+/// document of an undecoded block (known exactly from the block metadata —
+/// no decode needed to stand still) or positioned inside a decoded block.
+/// Invariant: the list holds no unconsumed document below `cur_doc`.
+struct Cursor<'a> {
+    list: &'a PostingList,
+    w: f64,
+    df: u32,
+    /// List-level score-contribution bound (the WAND pivot currency).
+    cbound: f64,
+    block: usize,
+    idx: usize,
+    decoded: bool,
+    docs: Vec<Oid>,
+    tfs: Vec<u32>,
+    cur_doc: Oid,
+    exhausted: bool,
+    hi: Oid,
+    /// Lazily computed block-level contribution bound for `cached_block`.
+    cached_block: usize,
+    cached_cb: f64,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(info: &TermInfo<'a>, list: &'a PostingList, lo: usize, hi: usize) -> Cursor<'a> {
+        let mut c = Cursor {
+            list,
+            w: info.w,
+            df: info.df,
+            cbound: info.cbound,
+            block: 0,
+            idx: 0,
+            decoded: false,
+            docs: Vec::new(),
+            tfs: Vec::new(),
+            cur_doc: 0,
+            exhausted: list.is_empty(),
+            hi: hi as Oid,
+            cached_block: usize::MAX,
+            cached_cb: 0.0,
+        };
+        if !c.exhausted {
+            c.cur_doc = c.list.blocks()[0].first_doc;
+            // position on the span start; skips before `lo` belong to other
+            // fragments and are not counted
+            c.seek(lo as Oid, None);
+        }
+        c
+    }
+
+    /// Advance to the first unconsumed document ≥ `target`, skipping the
+    /// decode of every block whose `last_doc` metadata proves it dead.
+    fn seek(&mut self, target: Oid, mut counters: Option<&mut Skips>) {
+        if self.exhausted {
+            return;
+        }
+        if self.cur_doc >= target {
+            if self.cur_doc >= self.hi {
+                self.exhausted = true;
+            }
+            return;
+        }
+        let blocks = self.list.blocks();
+        if self.decoded && blocks[self.block].last_doc >= target {
+            // stays inside the current decoded block; the single-step
+            // advance past a just-scored document is the hot case, so try
+            // it before binary-searching the tail
+            let rel = if self.docs[self.idx + 1] >= target {
+                1
+            } else {
+                1 + self.docs[self.idx + 1..].partition_point(|&d| d < target)
+            };
+            if let Some(c) = counters.as_deref_mut() {
+                c.postings += rel as u64;
+            }
+            self.idx += rel;
+            self.cur_doc = self.docs[self.idx];
+        } else {
+            // abandon the rest of the current block…
+            let mut b = self.block;
+            if self.decoded {
+                if let Some(c) = counters.as_deref_mut() {
+                    c.postings += (self.docs.len() - self.idx) as u64;
+                }
+                b += 1;
+            }
+            // …then leap over whole undecoded blocks
+            while b < blocks.len() && blocks[b].last_doc < target {
+                if let Some(c) = counters.as_deref_mut() {
+                    c.blocks += 1;
+                    c.postings += blocks[b].count as u64;
+                }
+                b += 1;
+            }
+            if b >= blocks.len() {
+                self.exhausted = true;
+                return;
+            }
+            self.block = b;
+            if blocks[b].first_doc >= target {
+                // park on the block start — exact without decoding
+                self.decoded = false;
+                self.cur_doc = blocks[b].first_doc;
+            } else {
+                self.list.decode_block_into(b, &mut self.docs, &mut self.tfs);
+                self.decoded = true;
+                self.idx = self.docs.partition_point(|&d| d < target);
+                if let Some(c) = counters {
+                    c.postings += self.idx as u64;
+                }
+                self.cur_doc = self.docs[self.idx];
+            }
+        }
+        if self.cur_doc >= self.hi {
+            self.exhausted = true;
+        }
+    }
+
+    /// Block-level contribution bound of the current block, from its
+    /// `max_tf` metadata — computable without decoding, memoised per block.
+    fn block_cbound(&mut self, params: BeliefParams, n_docs: usize, total_w: f64) -> f64 {
+        if self.cached_block != self.block {
+            let bound = params.belief_bound(self.list.blocks()[self.block].max_tf, self.df, n_docs);
+            self.cached_cb = (self.w * (bound - params.alpha) / total_w).max(0.0);
+            self.cached_block = self.block;
+        }
+        self.cached_cb
+    }
+
+    /// The tf under the cursor, decoding the current block on demand.
+    fn current_tf(&mut self) -> u32 {
+        if !self.decoded {
+            self.list.decode_block_into(self.block, &mut self.docs, &mut self.tfs);
+            self.decoded = true;
+            self.idx = 0; // parked cursors sit on the block's first document
+        }
+        self.tfs[self.idx]
+    }
+}
+
 /// Evaluate the paper's `map[sum(THIS)](map[getBL(…)])` ranking for the k
-/// best documents only, skipping documents whose upper bound cannot beat
-/// the running threshold.
+/// best documents only, over the block-compressed postings.
 ///
 /// Scores are computed with the exact floating-point operation order of the
 /// materialise path (`contrep.getbl` rows summed per document in query-term
@@ -165,6 +350,11 @@ struct TermCtx<'a> {
 /// document's sum never crosses a fragment boundary. Documents that match
 /// no query term are not emitted (their grouped sum is 0 and the facade
 /// drops zero scores).
+///
+/// Skipping is sound: a document is only leapt over or pruned when its
+/// belief upper bound plus a tiny float-safety margin is *strictly below* the
+/// admission threshold, and the threshold only rises — so a skipped
+/// document can never displace an admitted one, not even on a tie.
 pub fn topk_beliefs(
     index: &InvertedIndex,
     params: BeliefParams,
@@ -175,21 +365,240 @@ pub fn topk_beliefs(
 ) -> TopKOutcome {
     let total_w: f64 = query.iter().map(|(_, w)| w).sum();
     if total_w <= 0.0 || k == 0 {
-        return TopKOutcome { hits: Vec::new(), pruned: 0, scored: 0 };
+        return TopKOutcome::empty();
     }
     let stats = index.stats();
-    let terms: Vec<TermCtx<'_>> = query
+    let terms: Vec<TermInfo<'_>> = query
         .iter()
         .map(|(t, w)| {
-            let posts = index.postings(t).unwrap_or(&[]);
             let df = index.df(t);
             let bound = params.belief_bound(index.max_tf(t), df, stats.n_docs);
-            TermCtx { posts, w: *w, df, cbound: (w * (bound - params.alpha) / total_w).max(0.0) }
+            TermInfo {
+                list: index.postings_list(t),
+                w: *w,
+                df,
+                cbound: (w * (bound - params.alpha) / total_w).max(0.0),
+            }
+        })
+        .collect();
+    let spans = monet::fragment::bounds(index.n_docs(), degree.max(1));
+    let run_span = |span: (usize, usize)| -> (TopKAccumulator, u64, u64, Skips) {
+        span_topk(index, params, stats, &terms, total_w, span, domain, k)
+    };
+    let parts: Vec<(TopKAccumulator, u64, u64, Skips)> = if spans.len() <= 1 {
+        spans.into_iter().map(run_span).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                spans.iter().map(|&span| scope.spawn(move || run_span(span))).collect();
+            handles.into_iter().map(|h| h.join().expect("top-k span worker panicked")).collect()
+        })
+    };
+    let mut acc = TopKAccumulator::new(k);
+    let mut out = TopKOutcome::empty();
+    for (part, pruned, scored, skips) in parts {
+        acc.merge(part);
+        out.pruned += pruned;
+        out.scored += scored;
+        out.blocks_skipped += skips.blocks;
+        out.skipped_postings += skips.postings;
+    }
+    out.hits = acc.into_ranked();
+    out
+}
+
+/// Block-max WAND accumulation over one document-id span `[lo, hi)`.
+#[allow(clippy::too_many_arguments)]
+fn span_topk(
+    index: &InvertedIndex,
+    params: BeliefParams,
+    stats: CollectionStats,
+    terms: &[TermInfo<'_>],
+    total_w: f64,
+    (lo, hi): (usize, usize),
+    domain: Option<&FxHashSet<Oid>>,
+    k: usize,
+) -> (TopKAccumulator, u64, u64, Skips) {
+    // cursor order mirrors query order, so scoring by cursor index
+    // reproduces the materialise path's float-addition order
+    let mut cursors: Vec<Cursor<'_>> =
+        terms.iter().filter_map(|t| t.list.map(|l| Cursor::new(t, l, lo, hi))).collect();
+    let mut acc = TopKAccumulator::new(k);
+    let mut pruned = 0u64;
+    let mut scored = 0u64;
+    let mut skips = Skips::default();
+    let n = cursors.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    loop {
+        // keep cursors sorted by current document, exhausted last; the
+        // order is nearly sorted between rounds, so insertion sort
+        for i in 1..n {
+            let mut j = i;
+            while j > 0 {
+                let (a, b) = (&cursors[order[j - 1]], &cursors[order[j]]);
+                if (a.exhausted, a.cur_doc) <= (b.exhausted, b.cur_doc) {
+                    break;
+                }
+                order.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        let alive = order.iter().take_while(|&&c| !cursors[c].exhausted).count();
+        if alive == 0 {
+            break;
+        }
+        let theta = acc.threshold();
+        // pivot: the first cursor whose prefix of contribution bounds could
+        // still reach the threshold — no document before it can qualify
+        let mut bound = params.alpha;
+        let mut pivot = None;
+        for (i, &c) in order[..alive].iter().enumerate() {
+            bound += cursors[c].cbound;
+            if bound + PRUNE_MARGIN >= theta {
+                pivot = Some(i);
+                break;
+            }
+        }
+        let Some(p) = pivot else {
+            break; // even matching every remaining term cannot beat θ
+        };
+        let pivot_doc = cursors[order[p]].cur_doc;
+        if cursors[order[0]].cur_doc < pivot_doc {
+            // leap every pre-pivot cursor forward; whole blocks whose
+            // last_doc falls short are skipped without decoding
+            for &c in &order[..p] {
+                if cursors[c].cur_doc < pivot_doc {
+                    cursors[c].seek(pivot_doc, Some(&mut skips));
+                }
+            }
+            continue;
+        }
+        // candidate: every cursor in order[..=p] sits on pivot_doc
+        if domain.is_some_and(|d| !d.contains(&pivot_doc)) {
+            for &c in &order[..alive] {
+                if cursors[c].cur_doc == pivot_doc {
+                    cursors[c].seek(pivot_doc + 1, Some(&mut skips));
+                }
+            }
+            continue;
+        }
+        // block-max refinement: tighten the bound with the per-block
+        // max_tf of each matching cursor's current block — still no decode
+        if acc.is_full() {
+            let mut ub = params.alpha;
+            for &c in &order[..alive] {
+                if cursors[c].cur_doc == pivot_doc {
+                    ub += cursors[c].block_cbound(params, stats.n_docs, total_w);
+                }
+            }
+            if ub + PRUNE_MARGIN < theta {
+                pruned += 1;
+                for &c in &order[..alive] {
+                    if cursors[c].cur_doc == pivot_doc {
+                        cursors[c].seek(pivot_doc + 1, Some(&mut skips));
+                    }
+                }
+                continue;
+            }
+        }
+        // exact score: matched terms in query order, then the default row —
+        // the same float-addition order as getbl rows under a grouped sum
+        let mut score = 0.0;
+        let mut mw = 0.0;
+        let dl = index.doc_len(pivot_doc);
+        for c in cursors.iter_mut() {
+            if !c.exhausted && c.cur_doc == pivot_doc {
+                let b = params.belief(c.current_tf(), c.df, dl, stats.n_docs, stats.avg_dl);
+                score += c.w * b / total_w;
+                mw += c.w;
+            }
+        }
+        if mw < total_w {
+            score += params.alpha * (total_w - mw) / total_w;
+        }
+        scored += 1;
+        acc.push(pivot_doc, score);
+        for c in cursors.iter_mut() {
+            if !c.exhausted && c.cur_doc == pivot_doc {
+                c.seek(pivot_doc + 1, Some(&mut skips));
+            }
+        }
+    }
+    (acc, pruned, scored, skips)
+}
+
+/// Every term's postings decoded into raw vectors — the pre-compression
+/// representation, pinned as a baseline. [`topk_beliefs_raw`] evaluates
+/// over it with the original document-at-a-time merge, so benchmarks
+/// compare pure evaluation strategies without timing block decodes, and
+/// property tests have an independent oracle.
+#[derive(Debug, Clone)]
+pub struct RawPostings {
+    lists: Vec<Vec<Posting>>,
+}
+
+impl RawPostings {
+    /// Decode every posting list of `index`.
+    pub fn from_index(index: &InvertedIndex) -> RawPostings {
+        let lists = (0..index.dict().len() as u32)
+            .map(|tid| index.postings_by_id(tid).map_or_else(Vec::new, PostingList::to_vec))
+            .collect();
+        RawPostings { lists }
+    }
+
+    /// Total number of postings held.
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    fn get(&self, tid: Option<u32>) -> &[Posting] {
+        tid.and_then(|t| self.lists.get(t as usize)).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Per-query-term evaluation context of the raw reference path.
+struct RawTermCtx<'a> {
+    posts: &'a [Posting],
+    w: f64,
+    df: u32,
+    cbound: f64,
+}
+
+/// The pre-compression reference evaluator: a document-at-a-time merge over
+/// decoded posting vectors with list-level threshold pruning only — no
+/// blocks, no block-max bounds, no cursor leaps. Produces the same hits as
+/// [`topk_beliefs`] (both are bit-identical to materialise-then-sort);
+/// `blocks_skipped` and `skipped_postings` are always 0 here.
+pub fn topk_beliefs_raw(
+    index: &InvertedIndex,
+    raw: &RawPostings,
+    params: BeliefParams,
+    query: &[(&str, f64)],
+    domain: Option<&FxHashSet<Oid>>,
+    k: usize,
+    degree: usize,
+) -> TopKOutcome {
+    let total_w: f64 = query.iter().map(|(_, w)| w).sum();
+    if total_w <= 0.0 || k == 0 {
+        return TopKOutcome::empty();
+    }
+    let stats = index.stats();
+    let terms: Vec<RawTermCtx<'_>> = query
+        .iter()
+        .map(|(t, w)| {
+            let df = index.df(t);
+            let bound = params.belief_bound(index.max_tf(t), df, stats.n_docs);
+            RawTermCtx {
+                posts: raw.get(index.dict().lookup(t)),
+                w: *w,
+                df,
+                cbound: (w * (bound - params.alpha) / total_w).max(0.0),
+            }
         })
         .collect();
     let spans = monet::fragment::bounds(index.n_docs(), degree.max(1));
     let run_span = |span: (usize, usize)| -> (TopKAccumulator, u64, u64) {
-        span_topk(index, params, stats, &terms, total_w, span, domain, k)
+        span_topk_raw(index, params, stats, &terms, total_w, span, domain, k)
     };
     let parts: Vec<(TopKAccumulator, u64, u64)> = if spans.len() <= 1 {
         spans.into_iter().map(run_span).collect()
@@ -201,23 +610,24 @@ pub fn topk_beliefs(
         })
     };
     let mut acc = TopKAccumulator::new(k);
-    let mut pruned = 0;
-    let mut scored = 0;
-    for (part, part_pruned, part_scored) in parts {
+    let mut out = TopKOutcome::empty();
+    for (part, pruned, scored) in parts {
         acc.merge(part);
-        pruned += part_pruned;
-        scored += part_scored;
+        out.pruned += pruned;
+        out.scored += scored;
     }
-    TopKOutcome { hits: acc.into_ranked(), pruned, scored }
+    out.hits = acc.into_ranked();
+    out
 }
 
-/// Score-at-a-time accumulation over one document-id span `[lo, hi)`.
+/// Score-at-a-time accumulation over one document-id span `[lo, hi)` of the
+/// raw reference path.
 #[allow(clippy::too_many_arguments)]
-fn span_topk(
+fn span_topk_raw(
     index: &InvertedIndex,
     params: BeliefParams,
-    stats: crate::index::CollectionStats,
-    terms: &[TermCtx<'_>],
+    stats: CollectionStats,
+    terms: &[RawTermCtx<'_>],
     total_w: f64,
     (lo, hi): (usize, usize),
     domain: Option<&FxHashSet<Oid>>,
@@ -257,8 +667,7 @@ fn span_topk(
             advance_past(terms, &mut pos, &ends, doc);
             continue;
         }
-        // exact score: matched terms in query order, then the default row —
-        // the same float-addition order as getbl rows under a grouped sum
+        // exact score: matched terms in query order, then the default row
         let mut score = 0.0;
         let mut mw = 0.0;
         for (i, t) in terms.iter().enumerate() {
@@ -279,8 +688,8 @@ fn span_topk(
     (acc, pruned, scored)
 }
 
-/// Advance every cursor currently parked on `doc`.
-fn advance_past(terms: &[TermCtx<'_>], pos: &mut [usize], ends: &[usize], doc: Oid) {
+/// Advance every raw cursor currently parked on `doc`.
+fn advance_past(terms: &[RawTermCtx<'_>], pos: &mut [usize], ends: &[usize], doc: Oid) {
     for (i, t) in terms.iter().enumerate() {
         if pos[i] < ends[i] && t.posts[pos[i]].doc == doc {
             pos[i] += 1;
@@ -382,6 +791,32 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_unequal_k() {
+        // donor holds more entries than the receiver keeps: element-wise
+        let mut small = TopKAccumulator::new(2);
+        let mut big = TopKAccumulator::new(5);
+        for (oid, s) in [(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.7)] {
+            big.push(oid, s);
+        }
+        small.merge(big.clone());
+        assert_eq!(small.into_ranked(), vec![(1, 0.9), (3, 0.7)]);
+        // donor fits an empty receiver: adopted wholesale
+        let mut wide = TopKAccumulator::new(5);
+        let mut donor = TopKAccumulator::new(2);
+        donor.push(4, 0.3);
+        donor.push(6, 0.2);
+        wide.merge(donor);
+        assert_eq!(wide.len(), 2);
+        wide.push(7, 0.25);
+        assert_eq!(wide.into_ranked(), vec![(4, 0.3), (7, 0.25), (6, 0.2)]);
+        // merging an empty donor is a no-op
+        let mut a = TopKAccumulator::new(2);
+        a.push(1, 0.5);
+        a.merge(TopKAccumulator::new(2));
+        assert_eq!(a.into_ranked(), vec![(1, 0.5)]);
+    }
+
+    #[test]
     fn topk_matches_materialise_then_sort() {
         let index = idx(200);
         let params = BeliefParams::default();
@@ -396,14 +831,69 @@ mod tests {
     }
 
     #[test]
-    fn topk_prunes_on_larger_corpora() {
+    fn wand_avoids_scoring_on_larger_corpora() {
         let index = idx(5000);
         let params = BeliefParams::default();
         let query = [("sunset", 1.0), ("mist", 1.0)];
         let out = topk_beliefs(&index, params, &query, None, 5, 1);
         assert_eq!(out.hits.len(), 5);
-        assert!(out.pruned > 0, "expected pruning on a 5k corpus: {out:?}");
         assert_eq!(out.hits, baseline(&index, params, &query, None, 5));
+        // the pivot walk must leave most matching documents unscored
+        let candidates = baseline(&index, params, &query, None, index.n_docs()).len() as u64;
+        assert!(
+            out.scored < candidates,
+            "expected skipped candidates on a 5k corpus: scored {} of {candidates}",
+            out.scored
+        );
+        assert!(out.skipped_postings > 0, "cursor leaps should pass postings: {out:?}");
+    }
+
+    #[test]
+    fn blockmax_skips_whole_blocks_for_selective_terms() {
+        // "common" appears in every even document (a block of 128 postings
+        // spans ~256 doc ids); "rare" appears every 600. Once the heap
+        // holds k common+rare documents, the pivot jumps the common cursor
+        // in ~600-doc leaps, clearing whole blocks without decoding them.
+        let mut b = IndexBuilder::new();
+        for d in 0..5000u32 {
+            let mut toks = vec!["filler"];
+            if d % 2 == 0 {
+                toks.push("common");
+            }
+            if d % 600 == 0 {
+                toks.push("rare");
+            }
+            b.add_tokens(&toks);
+        }
+        let index = b.build();
+        let params = BeliefParams::default();
+        let query = [("common", 1.0), ("rare", 1.0)];
+        let out = topk_beliefs(&index, params, &query, None, 5, 1);
+        assert_eq!(out.hits, baseline(&index, params, &query, None, 5));
+        // every top hit matches both terms (600 is even)
+        assert!(out.hits.iter().all(|(oid, _)| oid % 600 == 0));
+        assert!(out.blocks_skipped > 0, "expected undecoded block leaps: {out:?}");
+    }
+
+    #[test]
+    fn raw_reference_path_matches_compressed() {
+        let index = idx(700);
+        let raw = RawPostings::from_index(&index);
+        assert_eq!(raw.total_postings(), index.raw_postings_bytes() / 8);
+        let params = BeliefParams::default();
+        for query in [
+            vec![("sunset", 1.0), ("wave", 1.0), ("glow", 0.5)],
+            vec![("mist", 2.0)],
+            vec![("city", 1.0), ("zzz", 1.0)],
+        ] {
+            for k in [1usize, 10, 700] {
+                for degree in [1usize, 4] {
+                    let fast = topk_beliefs(&index, params, &query, None, k, degree);
+                    let slow = topk_beliefs_raw(&index, &raw, params, &query, None, k, degree);
+                    assert_eq!(fast.hits, slow.hits, "{query:?} k={k} degree={degree}");
+                }
+            }
+        }
     }
 
     #[test]

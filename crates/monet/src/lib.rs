@@ -75,5 +75,5 @@ pub use storage::{
     BufferPool, DiskFs, FaultFs, FaultPlan, MemFs, RecoveryReport, StorageBackend, Store,
     StoreOptions,
 };
-pub use strdict::StrDict;
+pub use strdict::{DictColumn, PackedCodes, StrDict};
 pub use value::{MonetType, Oid, Val};

@@ -1,17 +1,18 @@
 //! Catalog persistence — Monet's disk-resident BATs.
 //!
 //! One file per BAT plus a manifest, written through the storage tier's
-//! shared codec ([`crate::storage::codec`]). Format **v2**:
+//! shared codec ([`crate::storage::codec`]). Format **v3**:
 //!
 //! ```text
-//! [7B magic "MIRRBAT"][u8 version = 2][u16 endian sentinel 0xFEFF]
+//! [7B magic "MIRRBAT"][u8 version = 3][u16 endian sentinel 0xFEFF]
 //! [head column][tail column][u64 checksum over both columns]
 //! ```
 //!
 //! Columns serialise as a type tag, a length, and the values; string
-//! dictionaries stay deduplicated on disk and are re-interned on load.
-//! A file carrying any other version — including the legacy `MIRRBAT1`
-//! v1 snapshots — is rejected with a typed
+//! dictionaries stay deduplicated on disk, with the code vector bitpacked
+//! to the dictionary's width (v3), and are re-interned on load.
+//! A file carrying any other version — the v2 raw-code columns as well as
+//! the legacy `MIRRBAT1` v1 snapshots — is rejected with a typed
 //! [`MonetError::FormatVersion`] *before* any payload is decoded, a
 //! byte-swapped file trips the endianness sentinel, and a bit-flipped
 //! payload fails the trailing checksum: garbage is never decoded into a
@@ -31,13 +32,13 @@ use std::path::Path;
 
 const MAGIC: &[u8; 7] = b"MIRRBAT";
 /// On-disk format version this build reads and writes.
-pub const FORMAT_VERSION: u8 = 2;
+pub const FORMAT_VERSION: u8 = 3;
 
 fn io_err(e: std::io::Error) -> MonetError {
     MonetError::Io(e.to_string())
 }
 
-/// Serialise one BAT into the v2 file format.
+/// Serialise one BAT into the v3 file format.
 fn encode_bat(bat: &Bat) -> Vec<u8> {
     let mut body = ByteWriter::new();
     write_column(&mut body, bat.head());
@@ -223,7 +224,25 @@ mod tests {
         let restored = Catalog::new();
         assert_eq!(
             restored.load_dir(&dir).unwrap_err(),
-            MonetError::FormatVersion { found: 1, expected: 2 }
+            MonetError::FormatVersion { found: 1, expected: 3 }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn previous_v2_snapshot_is_rejected_with_typed_version_error() {
+        let dir = tmpdir("v2");
+        let cat = Catalog::new();
+        cat.register("x", bat_of_strs(["a", "b"]));
+        cat.save_dir(&dir).unwrap();
+        let path = dir.join(file_name("x"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len()] = 2; // declare the raw-code column format
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Catalog::new();
+        assert_eq!(
+            restored.load_dir(&dir).unwrap_err(),
+            MonetError::FormatVersion { found: 2, expected: 3 }
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -241,7 +260,7 @@ mod tests {
         let restored = Catalog::new();
         assert_eq!(
             restored.load_dir(&dir).unwrap_err(),
-            MonetError::FormatVersion { found: 9, expected: 2 }
+            MonetError::FormatVersion { found: 9, expected: 3 }
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

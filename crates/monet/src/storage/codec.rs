@@ -202,10 +202,90 @@ impl<'a> ByteReader<'a> {
 }
 
 // ---------------------------------------------------------------------------
+// Bitpacking — fixed-width packing of u32 values into u64 words, the
+// primitive under compressed posting blocks (`ir::postings`), packed
+// dictionary codes (`crate::strdict::PackedCodes`) and the on-disk string
+// columns below. Values are laid out LSB-first; a width of 0 encodes a run
+// of zeros in zero words.
+// ---------------------------------------------------------------------------
+
+/// Number of bits needed to represent `max` (0 for `max == 0`).
+#[inline]
+pub const fn bits_for(max: u32) -> u32 {
+    32 - max.leading_zeros()
+}
+
+/// Number of `u64` words holding `n` values of `width` bits each.
+#[inline]
+pub const fn packed_words(n: usize, width: u32) -> usize {
+    (n * width as usize).div_ceil(64)
+}
+
+/// Append `values` to `words`, `width` bits each, starting at a fresh word
+/// boundary. Values must fit in `width` bits (debug-asserted).
+pub fn pack_u32s(words: &mut Vec<u64>, values: &[u32], width: u32) {
+    if width == 0 {
+        debug_assert!(values.iter().all(|&v| v == 0));
+        return;
+    }
+    let base = words.len();
+    words.resize(base + packed_words(values.len(), width), 0);
+    let mut bit = 0usize;
+    for &v in values {
+        debug_assert!(width == 32 || u64::from(v) < (1u64 << width), "{v} overflows {width} bits");
+        let w = base + (bit >> 6);
+        let s = (bit & 63) as u32;
+        words[w] |= (v as u64) << s;
+        if s + width > 64 {
+            words[w + 1] |= (v as u64) >> (64 - s);
+        }
+        bit += width as usize;
+    }
+}
+
+/// Decode `n` values of `width` bits each from `words[start..]` (packed by
+/// [`pack_u32s`]) into `out`, which is cleared first. The inner loop is
+/// branch-light: one shift, one conditional spill-word OR, one mask.
+pub fn unpack_u32s(words: &[u64], start: usize, n: usize, width: u32, out: &mut Vec<u32>) {
+    out.clear();
+    if width == 0 {
+        out.resize(n, 0);
+        return;
+    }
+    out.reserve(n);
+    let mask = if width == 32 { u64::MAX >> 32 } else { (1u64 << width) - 1 };
+    let mut bit = 0usize;
+    for _ in 0..n {
+        let w = start + (bit >> 6);
+        let s = (bit & 63) as u32;
+        let lo = words[w] >> s;
+        let v = if s + width > 64 { lo | (words[w + 1] << (64 - s)) } else { lo };
+        out.push((v & mask) as u32);
+        bit += width as usize;
+    }
+}
+
+/// Decode the single value at index `i` of a [`pack_u32s`] run.
+#[inline]
+pub fn unpack_u32_at(words: &[u64], start: usize, i: usize, width: u32) -> u32 {
+    if width == 0 {
+        return 0;
+    }
+    let mask = if width == 32 { u64::MAX >> 32 } else { (1u64 << width) - 1 };
+    let bit = i * width as usize;
+    let w = start + (bit >> 6);
+    let s = (bit & 63) as u32;
+    let lo = words[w] >> s;
+    let v = if s + width > 64 { lo | (words[w + 1] << (64 - s)) } else { lo };
+    (v & mask) as u32
+}
+
+// ---------------------------------------------------------------------------
 // Column codec — the single serialisation of kernel columns, shared by the
 // whole-BAT persistence layer (`crate::persist`) and the page store's
-// columnar values. String columns stay dictionary-encoded on disk: codes
-// first, then the deduplicated heap (`crate::strdict`).
+// columnar values. String columns stay dictionary-encoded on disk — and the
+// codes themselves are bitpacked to the dictionary's width — with the
+// deduplicated heap after the codes (`crate::strdict`).
 // ---------------------------------------------------------------------------
 
 /// Column type tags of the on-disk format.
@@ -249,8 +329,12 @@ pub fn write_column(w: &mut ByteWriter, c: &Column) {
         Column::Str(s) => {
             w.u8(tag::STR);
             w.u64(s.codes.len() as u64);
-            for x in &s.codes {
-                w.u32(*x);
+            let width = if s.dict.len() <= 1 { 0 } else { bits_for(s.dict.len() as u32 - 1) };
+            w.u8(width as u8);
+            let mut words = Vec::new();
+            pack_u32s(&mut words, &s.codes, width);
+            for word in &words {
+                w.u64(*word);
             }
             w.u64(s.dict.len() as u64);
             for (_, st) in s.dict.iter() {
@@ -294,11 +378,30 @@ pub fn read_column(r: &mut ByteReader<'_>) -> Result<Column> {
             Column::Float(v)
         }
         tag::STR => {
-            let n = r.len64(r.remaining() / 4)?;
-            let mut codes = Vec::with_capacity(n);
-            for _ in 0..n {
-                codes.push(r.u32()?);
+            // codes are bitpacked: with width ≥ 1 a code is at least one bit,
+            // and the width-0 (single-entry dictionary) case is still bounded
+            // proportionally to the file size rather than by the claim alone
+            let n = r.len64(r.remaining().saturating_mul(64))?;
+            let width = r.u8()? as u32;
+            if width > 32 {
+                return Err(MonetError::Corrupt {
+                    what: "string column".to_string(),
+                    detail: format!("code width {width} exceeds 32 bits"),
+                });
             }
+            let n_words = packed_words(n, width);
+            if n_words.saturating_mul(8) > r.remaining() {
+                return Err(MonetError::Corrupt {
+                    what: "string column".to_string(),
+                    detail: format!("{n_words} packed code words exceed remaining bytes"),
+                });
+            }
+            let mut words = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                words.push(r.u64()?);
+            }
+            let mut codes = Vec::new();
+            unpack_u32s(&words, 0, n, width, &mut codes);
             let dict_len = r.len64(r.remaining())?;
             let mut builder = StrDictBuilder::new();
             for _ in 0..dict_len {
@@ -398,12 +501,61 @@ mod tests {
         let mut w = ByteWriter::new();
         w.u8(4); // STR tag
         w.u64(1); // one code
-        w.u32(9); // … pointing outside the dictionary
+        w.u8(4); // packed at 4 bits
+        w.u64(9); // … pointing outside the dictionary
         w.u64(1); // one dict entry
         w.str("only");
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes, "col");
         assert!(matches!(read_column(&mut r), Err(MonetError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn bitpack_roundtrip_every_width() {
+        for width in 0u32..=32 {
+            let max = if width == 0 { 0 } else { u32::MAX >> (32 - width) };
+            let values: Vec<u32> = (0..97u32)
+                .map(|i| if width == 0 { 0 } else { (i.wrapping_mul(2654435761)) % (max / 2 + 1) })
+                .chain([0, max])
+                .collect();
+            assert!(values.iter().all(|&v| u64::from(v) <= u64::from(max)));
+            let mut words = Vec::new();
+            pack_u32s(&mut words, &values, width);
+            assert_eq!(words.len(), packed_words(values.len(), width));
+            let mut back = Vec::new();
+            unpack_u32s(&words, 0, values.len(), width, &mut back);
+            assert_eq!(back, values, "width {width}");
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(unpack_u32_at(&words, 0, i, width), v, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitpack_runs_start_on_word_boundaries() {
+        // two runs appended back to back stay independently addressable
+        let a = [1u32, 2, 3];
+        let b = [7u32, 0, 7, 7];
+        let mut words = Vec::new();
+        pack_u32s(&mut words, &a, 2);
+        let b_start = words.len();
+        pack_u32s(&mut words, &b, 3);
+        let mut out = Vec::new();
+        unpack_u32s(&words, 0, a.len(), 2, &mut out);
+        assert_eq!(out, a);
+        unpack_u32s(&words, b_start, b.len(), 3, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn bits_for_matches_definition() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(127), 7);
+        assert_eq!(bits_for(128), 8);
+        assert_eq!(bits_for(u32::MAX), 32);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod wal;
 mod store;
 
 pub use backend::{BitFlip, DiskFs, FaultFs, FaultPlan, MemFs, StorageBackend};
-pub use codec::{checksum64, ByteReader, ByteWriter, ENDIAN_SENTINEL};
+pub use codec::{
+    bits_for, checksum64, pack_u32s, packed_words, unpack_u32_at, unpack_u32s, ByteReader,
+    ByteWriter, ENDIAN_SENTINEL,
+};
 pub use page::{PageKind, PAGE_HEADER, PAGE_PAYLOAD, PAGE_SIZE};
 pub use pool::{BufferPool, PageKey, PoolStats};
 pub use store::{RecoveryReport, Store, StoreOptions};

@@ -248,6 +248,47 @@ fn cluster_shards_persist_and_reopen_independently() {
 }
 
 #[test]
+fn bumped_index_format_roundtrips_through_save_and_open() {
+    let b = baseline();
+    let store = reopen(&b.saved);
+    // the persisted annotation index is the versioned block-compressed
+    // blob (presence byte, then magic + version), stored compressed —
+    // nothing is decoded on the way to disk
+    let blob = store.get("idx/annotation").unwrap().expect("annotation index present");
+    assert_eq!(blob[0], 1, "presence byte");
+    assert_eq!(&blob[1..8], b"MIRRIDX");
+    assert_eq!(u32::from(blob[8]), u32::from(mirror::ir::INDEX_FORMAT_VERSION));
+    let idx = mirror::ir::InvertedIndex::from_bytes(&blob[1..]).unwrap();
+    assert!(idx.n_docs() > 0);
+    // and the reopened instance ranks bit-identically through it
+    let db = MirrorDbms::open_from(&store).unwrap();
+    assert_eq!(probe(&db), b.probes);
+}
+
+#[test]
+fn store_with_previous_format_version_is_rejected_typed() {
+    let b = baseline();
+    let fs = b.saved.fork();
+    {
+        let store = reopen(&fs);
+        // rewrite the format cell as the pre-compression v1 layout
+        let mut stale = 1u32.to_le_bytes().to_vec();
+        stale.extend_from_slice(&0xFEFFu16.to_le_bytes());
+        store.put("meta/format", stale);
+        store.commit().unwrap();
+    }
+    let store = reopen(&fs);
+    match MirrorDbms::open_from(&store) {
+        Err(RetrievalError::Storage(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("version") && msg.contains('1'), "untyped rejection: {msg}");
+        }
+        Ok(_) => panic!("v1 store opened silently"),
+        Err(other) => panic!("expected a format-version error, got {other}"),
+    }
+}
+
+#[test]
 fn disk_roundtrip_matches_memory_roundtrip() {
     let b = baseline();
     let dir = scratch_dir("disk");

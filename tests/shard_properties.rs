@@ -5,7 +5,11 @@
 
 use mirror::core::shard::{hash_shard, MirrorCluster};
 use mirror::core::{MirrorDbms, RetrievalError, Retriever};
+use mirror::ir::{
+    topk_beliefs, topk_beliefs_raw, BeliefParams, IndexBuilder, RawPostings, TopKAccumulator,
+};
 use mirror::media::{CrawledImage, RobotConfig, WebRobot};
+use mirror::monet::Oid;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -133,6 +137,47 @@ proptest! {
                 cluster.revive_replica(shard, dead_replica);
             }
             prop_assert_eq!(&got, &expected, "query {:?} k={} shards={}", &q, k, cluster.n_shards());
+        }
+    }
+
+    /// Shard projections re-cut the compressed posting blocks over local
+    /// oids; on every shard the block-max-skipping evaluation must match
+    /// the raw-vec reference, and the merged per-shard top-k heaps must be
+    /// bit-identical to the single unsharded index — for 1/2/4 shards.
+    #[test]
+    fn prop_shard_projections_compressed_equals_raw(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..QUERY_POOL.len(), 0..8), 1..120),
+        query in proptest::collection::vec((0usize..QUERY_POOL.len(), 0.25f64..2.0), 1..4),
+        k in 1usize..12,
+    ) {
+        let mut b = IndexBuilder::new();
+        for words in &docs {
+            let toks: Vec<&str> =
+                words.iter().map(|&w| QUERY_POOL[w % QUERY_POOL.len()]).collect();
+            b.add_tokens(&toks);
+        }
+        let index = b.build();
+        let q: Vec<(String, f64)> =
+            query.iter().map(|(w, wt)| (QUERY_POOL[w % QUERY_POOL.len()].to_string(), *wt)).collect();
+        let qr: Vec<(&str, f64)> = q.iter().map(|(t, w)| (t.as_str(), *w)).collect();
+        let params = BeliefParams::default();
+        let expected = topk_beliefs(&index, params, &qr, None, k, 1).hits;
+        for shards in [1usize, 2, 4] {
+            let mut merged = TopKAccumulator::new(k);
+            for s in 0..shards {
+                let local: Vec<Oid> =
+                    (0..docs.len() as Oid).filter(|d| (*d as usize) % shards == s).collect();
+                let shard = index.shard_projection(&local);
+                let raw = RawPostings::from_index(&shard);
+                let fast = topk_beliefs(&shard, params, &qr, None, k, 1);
+                let slow = topk_beliefs_raw(&shard, &raw, params, &qr, None, k, 1);
+                prop_assert_eq!(&fast.hits, &slow.hits, "shard {}/{} k={}", s, shards, k);
+                for (oid, score) in fast.hits {
+                    merged.push(local[oid as usize], score);
+                }
+            }
+            prop_assert_eq!(&merged.into_ranked(), &expected, "shards={} k={}", shards, k);
         }
     }
 }

@@ -4,7 +4,9 @@
 //! bit-identical scores, same tie-breaks — for k ∈ {1, 10, all} and at
 //! parallel degrees 1 and 4.
 
-use mirror::ir::{self, porter_stem, topk_beliefs, BeliefParams, IndexBuilder};
+use mirror::ir::{
+    self, porter_stem, topk_beliefs, topk_beliefs_raw, BeliefParams, IndexBuilder, RawPostings,
+};
 use mirror::moa::{parse_define, Env, MoaEngine, MoaVal, OptConfig, QueryParams};
 use mirror::monet::Oid;
 use proptest::prelude::*;
@@ -114,6 +116,35 @@ proptest! {
         prop_assert_eq!(&serial.hits, &parallel.hits);
         let cut = k.min(full.hits.len());
         prop_assert_eq!(&serial.hits[..], &full.hits[..cut]);
+    }
+
+    /// Block-compressed evaluation with block-max skipping returns exactly
+    /// the raw-vec reference ranking — same docs, bit-identical scores —
+    /// for k ∈ {1, 10, all} at degrees 1 and 4.
+    #[test]
+    fn prop_compressed_skipping_equals_raw_path(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..POOL.len(), 0..10), 1..80),
+        query in proptest::collection::vec((0usize..POOL.len(), 0.25f64..2.0), 1..4),
+    ) {
+        let mut b = IndexBuilder::new();
+        for words in &docs {
+            let toks: Vec<&str> = words.iter().map(|&w| POOL[w % POOL.len()]).collect();
+            b.add_tokens(&toks);
+        }
+        let index = b.build();
+        let raw = RawPostings::from_index(&index);
+        let q: Vec<(String, f64)> =
+            query.iter().map(|(w, wt)| (POOL[w % POOL.len()].to_string(), *wt)).collect();
+        let qr: Vec<(&str, f64)> = q.iter().map(|(t, w)| (t.as_str(), *w)).collect();
+        let params = BeliefParams::default();
+        for k in [1usize, 10, docs.len()] {
+            for degree in [1usize, 4] {
+                let fast = topk_beliefs(&index, params, &qr, None, k, degree);
+                let slow = topk_beliefs_raw(&index, &raw, params, &qr, None, k, degree);
+                prop_assert_eq!(&fast.hits, &slow.hits, "k={} degree={}", k, degree);
+            }
+        }
     }
 }
 
