@@ -1,0 +1,62 @@
+//! E14 — live ingest: query latency across delta fill levels.
+//!
+//! One seeded `LiveMirror` per delta level: 0% (freshly merged — the
+//! empty-delta fast path delegates straight to the generation's fused
+//! top-k), then 10% and 50% of the base corpus sitting un-merged in the
+//! delta plus a tombstone sprinkling, so the bench prices exactly what
+//! a reader pays for snapshot isolation before the background merge
+//! catches up. `pin` times the epoch guard itself (read-lock +
+//! `Arc` clone), the fixed cost every query pays regardless of load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirror_bench::live_ingest_db;
+use mirror_core::serve::RetrievalRequest;
+use mirror_core::{LiveMirror, MirrorDbms, Retriever};
+
+const DOCS: usize = 2_000;
+const BASE: usize = 1_000;
+
+/// A live instance with `delta_pct`% of the base corpus un-merged in the
+/// delta (batched inserts) and one tombstone per ten delta rows.
+fn live_at(db: &MirrorDbms, delta_pct: usize) -> LiveMirror {
+    let rows = db.library_rows();
+    let base = MirrorDbms::from_rows(
+        db.config().clone(),
+        rows[..BASE].to_vec(),
+        db.vocabulary().cloned(),
+        db.thesaurus().cloned(),
+    )
+    .expect("base loads");
+    let live = LiveMirror::new(base);
+    let n_delta = BASE * delta_pct / 100;
+    for chunk in rows[BASE..BASE + n_delta].chunks(16) {
+        live.insert_rows(chunk.to_vec()).expect("insert");
+    }
+    for row in rows[..BASE].iter().step_by(11).take(n_delta / 10) {
+        live.delete(&row.url).expect("delete");
+    }
+    live
+}
+
+fn bench(c: &mut Criterion) {
+    let db = live_ingest_db(DOCS, 42);
+    let text = RetrievalRequest::text("sunset over the water", 10);
+    let dual = RetrievalRequest::dual("forest tree", 0.5, 10);
+
+    let mut group = c.benchmark_group("e14_live_ingest");
+    group.sample_size(10);
+    for &pct in &[0usize, 10, 50] {
+        let live = live_at(&db, pct);
+        group.bench_with_input(BenchmarkId::new("query_text", pct), &pct, |b, _| {
+            b.iter(|| live.retrieve(&text).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("query_dual", pct), &pct, |b, _| {
+            b.iter(|| live.retrieve(&dual).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pin", pct), &pct, |b, _| b.iter(|| live.pin()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

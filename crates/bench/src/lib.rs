@@ -101,6 +101,17 @@ pub fn cluster_node_config() -> MirrorConfig {
     MirrorConfig { grid: 2, clustering: Clustering::KMeans(4), ..Default::default() }
 }
 
+/// The E14 live-ingest corpus: the E11 small-image crawl ingested under
+/// the node config, supplying real library rows plus the shared visual
+/// vocabulary and association thesaurus for seeding `LiveMirror`
+/// instances (a row prefix becomes the merged base, the rest the
+/// insert pool).
+pub fn live_ingest_db(n: usize, seed: u64) -> MirrorDbms {
+    let mut db = MirrorDbms::new(cluster_node_config());
+    db.ingest(&cluster_corpus(n, seed)).expect("ingest succeeds");
+    db
+}
+
 /// A kernel catalog holding the E9 scan workload: `scores`, `n` uniformly
 /// random floats in `[0, 1)` under a dense head — the E1-style
 /// set-at-a-time scan/select substrate at kernel level.

@@ -36,7 +36,27 @@
 //! global statistics and every reopened instance ranks bit-identically
 //! to the instance that saved. The crash-recovery suite asserts exactly
 //! that, for arbitrary injected crash points.
+//!
+//! ## Live layout
+//!
+//! A *live* store (see [`crate::live`]) extends the layout with
+//! generations and a per-operation delta WAL:
+//!
+//! | key                     | value                                      |
+//! |-------------------------|--------------------------------------------|
+//! | `live/gen-{n:06}/<key>` | a full instance layout under a gen prefix  |
+//! | `live/op-{seq:016}`     | one logged write (insert batch / delete)   |
+//! | `live/current`          | pointer: generation number + base sequence |
+//!
+//! Each op record is its own WAL transaction, committed *before* the
+//! write becomes visible in memory. A merge persists the whole new
+//! generation under its prefix first and flips `live/current` last, so
+//! the pointer only ever names a complete generation; ops with
+//! `seq > base_seq` replay on top of it at open. Orphans left by a
+//! crashed merge (a partial `live/gen-*` payload, ops already folded in)
+//! are ignored by open and overwritten by the next merge.
 
+use crate::live::WriteOp;
 use crate::retriever::{RetrievalError, RetrievalResult};
 use crate::shard::{ClusterConfig, MirrorCluster, Partitioning};
 use crate::{Clustering, DocMeta, LibraryRow, MirrorConfig, MirrorDbms, INTERNAL};
@@ -409,36 +429,7 @@ impl MirrorDbms {
     /// Re-running after a crash writes the same keys and converges.
     /// (The caller decides when to [`monet::Store::checkpoint`].)
     pub fn save_to(&self, store: &Store) -> RetrievalResult<()> {
-        store.put(key::FORMAT, encode_format());
-        store.put(key::CONFIG, encode_config(self.config()));
-        store.commit()?;
-
-        let rows = self.library_rows();
-        let n_batches = rows.len().div_ceil(BATCH);
-        for (i, chunk) in rows.chunks(BATCH).enumerate() {
-            store.put(key::rows(i), encode_rows(chunk));
-            store.commit()?;
-        }
-
-        let ann = self.store().get(&format!("{INTERNAL}__annotation"));
-        let img = self.store().get(&format!("{INTERNAL}__image"));
-        store.put(key::IDX_ANNOTATION, encode_index(ann.as_deref()));
-        store.put(key::IDX_IMAGE, encode_index(img.as_deref()));
-        store.commit()?;
-
-        store.put(key::VOCAB, encode_vocab(self.vocabulary()));
-        store.put(key::THESAURUS, encode_thesaurus(self.thesaurus()));
-        store.commit()?;
-
-        let mut lib = ByteWriter::new();
-        lib.u64(rows.len() as u64);
-        lib.u64(n_batches as u64);
-        store.put(key::LIBRARY, lib.into_bytes());
-        let mut done = ByteWriter::new();
-        done.u8(1);
-        store.put(key::COMPLETE, done.into_bytes());
-        store.commit()?;
-        Ok(())
+        save_instance(self, store, "")
     }
 
     /// Cold-open a persisted instance from `dir` without re-ingest:
@@ -452,60 +443,188 @@ impl MirrorDbms {
 
     /// Rebuild an instance from an already-open (recovered) store.
     pub fn open_from(store: &Store) -> RetrievalResult<Self> {
-        match store.get(key::COMPLETE)? {
-            Some(_) => {}
-            None => {
-                return Err(RetrievalError::IncompleteState {
-                    detail: format!(
-                        "no completion marker; {} keys recovered ({} WAL transactions) — \
-                         the save never finished, re-run it",
-                        store.keys().len(),
-                        store.recovery().wal_transactions,
-                    ),
-                })
-            }
-        }
-        check_format(&must_get(store, key::FORMAT)?)?;
-        let config = decode_config(&must_get(store, key::CONFIG)?)?;
-        let (n_docs, n_batches) = {
-            let bytes = must_get(store, key::LIBRARY)?;
-            let mut r = ByteReader::new(&bytes, key::LIBRARY);
-            (r.u64()? as usize, r.u64()? as usize)
-        };
-        let mut rows = Vec::with_capacity(n_docs);
-        for i in 0..n_batches {
-            let k = key::rows(i);
-            rows.extend(decode_rows(&must_get(store, &k)?, &k)?);
-        }
-        if rows.len() != n_docs {
-            return Err(RetrievalError::Storage(corrupt(
-                key::LIBRARY,
-                format!("{} rows decoded, library metadata says {n_docs}", rows.len()),
-            )));
-        }
-
-        let mut db = MirrorDbms::new(config);
-        db.load_library_rows(rows)?;
-        // overwrite the deterministically rebuilt indexes with the saved
-        // ones: identical for a self-contained node, and required for a
-        // shard, whose indexes pin the parent collection's statistics
-        let ann_key = format!("{INTERNAL}__annotation");
-        let img_key = format!("{INTERNAL}__image");
-        if let Some(idx) =
-            decode_index(&must_get(store, key::IDX_ANNOTATION)?, key::IDX_ANNOTATION)?
-        {
-            db.store().insert(ann_key, idx);
-        }
-        if let Some(idx) = decode_index(&must_get(store, key::IDX_IMAGE)?, key::IDX_IMAGE)? {
-            db.store().insert(img_key, idx);
-        }
-        let vocab = decode_vocab(&must_get(store, key::VOCAB)?)?;
-        let thesaurus = decode_thesaurus(&must_get(store, key::THESAURUS)?)?;
-        if let (Some(v), Some(t)) = (vocab, thesaurus) {
-            db.set_ingest_outputs(v, t);
-        }
-        Ok(db)
+        open_instance(store, "")
     }
+}
+
+/// Persist an instance's full layout under `prefix` (`""` is the legacy
+/// root layout; live generations use `live/gen-{n:06}/`). Every logical
+/// group is one WAL transaction, the completion marker commits last.
+pub(crate) fn save_instance(db: &MirrorDbms, store: &Store, prefix: &str) -> RetrievalResult<()> {
+    let k = |name: &str| format!("{prefix}{name}");
+    store.put(k(key::FORMAT), encode_format());
+    store.put(k(key::CONFIG), encode_config(db.config()));
+    store.commit()?;
+
+    let rows = db.library_rows();
+    let n_batches = rows.len().div_ceil(BATCH);
+    for (i, chunk) in rows.chunks(BATCH).enumerate() {
+        store.put(k(&key::rows(i)), encode_rows(chunk));
+        store.commit()?;
+    }
+
+    let ann = db.store().get(&format!("{INTERNAL}__annotation"));
+    let img = db.store().get(&format!("{INTERNAL}__image"));
+    store.put(k(key::IDX_ANNOTATION), encode_index(ann.as_deref()));
+    store.put(k(key::IDX_IMAGE), encode_index(img.as_deref()));
+    store.commit()?;
+
+    store.put(k(key::VOCAB), encode_vocab(db.vocabulary()));
+    store.put(k(key::THESAURUS), encode_thesaurus(db.thesaurus()));
+    store.commit()?;
+
+    let mut lib = ByteWriter::new();
+    lib.u64(rows.len() as u64);
+    lib.u64(n_batches as u64);
+    store.put(k(key::LIBRARY), lib.into_bytes());
+    let mut done = ByteWriter::new();
+    done.u8(1);
+    store.put(k(key::COMPLETE), done.into_bytes());
+    store.commit()?;
+    Ok(())
+}
+
+/// Rebuild an instance from the layout under `prefix` in an already-open
+/// (recovered) store.
+pub(crate) fn open_instance(store: &Store, prefix: &str) -> RetrievalResult<MirrorDbms> {
+    let k = |name: &str| format!("{prefix}{name}");
+    match store.get(&k(key::COMPLETE))? {
+        Some(_) => {}
+        None => {
+            return Err(RetrievalError::IncompleteState {
+                detail: format!(
+                    "no completion marker under {prefix:?}; {} keys recovered \
+                     ({} WAL transactions) — the save never finished, re-run it",
+                    store.keys().len(),
+                    store.recovery().wal_transactions,
+                ),
+            })
+        }
+    }
+    check_format(&must_get(store, &k(key::FORMAT))?)?;
+    let config = decode_config(&must_get(store, &k(key::CONFIG))?)?;
+    let (n_docs, n_batches) = {
+        let bytes = must_get(store, &k(key::LIBRARY))?;
+        let mut r = ByteReader::new(&bytes, key::LIBRARY);
+        (r.u64()? as usize, r.u64()? as usize)
+    };
+    let mut rows = Vec::with_capacity(n_docs);
+    for i in 0..n_batches {
+        let kb = k(&key::rows(i));
+        rows.extend(decode_rows(&must_get(store, &kb)?, &kb)?);
+    }
+    if rows.len() != n_docs {
+        return Err(RetrievalError::Storage(corrupt(
+            key::LIBRARY,
+            format!("{} rows decoded, library metadata says {n_docs}", rows.len()),
+        )));
+    }
+
+    let mut db = MirrorDbms::new(config);
+    db.load_library_rows(rows)?;
+    // overwrite the deterministically rebuilt indexes with the saved
+    // ones: identical for a self-contained node, and required for a
+    // shard, whose indexes pin the parent collection's statistics
+    let ann_key = format!("{INTERNAL}__annotation");
+    let img_key = format!("{INTERNAL}__image");
+    if let Some(idx) =
+        decode_index(&must_get(store, &k(key::IDX_ANNOTATION))?, key::IDX_ANNOTATION)?
+    {
+        db.store().insert(ann_key, idx);
+    }
+    if let Some(idx) = decode_index(&must_get(store, &k(key::IDX_IMAGE))?, key::IDX_IMAGE)? {
+        db.store().insert(img_key, idx);
+    }
+    let vocab = decode_vocab(&must_get(store, &k(key::VOCAB))?)?;
+    let thesaurus = decode_thesaurus(&must_get(store, &k(key::THESAURUS))?)?;
+    if let (Some(v), Some(t)) = (vocab, thesaurus) {
+        db.set_ingest_outputs(v, t);
+    }
+    Ok(db)
+}
+
+// ---------------------------------------------------------------------------
+// Live persistence: generation pointer + delta WAL
+// ---------------------------------------------------------------------------
+
+mod live_key {
+    pub const CURRENT: &str = "live/current";
+    pub const OP_PREFIX: &str = "live/op-";
+
+    pub fn op(seq: u64) -> String {
+        format!("{OP_PREFIX}{seq:016}")
+    }
+}
+
+/// Key prefix a live generation's instance layout is saved under.
+pub(crate) fn live_gen_prefix(gen_no: u64) -> String {
+    format!("live/gen-{gen_no:06}/")
+}
+
+/// Read the `live/current` pointer: `(generation number, base sequence)`,
+/// or `None` if the store holds no live instance.
+pub(crate) fn live_pointer(store: &Store) -> RetrievalResult<Option<(u64, u64)>> {
+    match store.get(live_key::CURRENT)? {
+        None => Ok(None),
+        Some(bytes) => {
+            let mut r = ByteReader::new(&bytes, live_key::CURRENT);
+            Ok(Some((r.u64()?, r.u64()?)))
+        }
+    }
+}
+
+/// Flip the `live/current` pointer in one WAL transaction — the atomic
+/// commit point of a merge.
+pub(crate) fn live_set_pointer(store: &Store, gen_no: u64, base_seq: u64) -> RetrievalResult<()> {
+    let mut w = ByteWriter::new();
+    w.u64(gen_no);
+    w.u64(base_seq);
+    store.put(live_key::CURRENT, w.into_bytes());
+    store.commit()?;
+    Ok(())
+}
+
+/// Append one delta op as its own committed WAL transaction. Called
+/// *before* the op becomes visible in memory: a write is only ever
+/// acknowledged once it is durable.
+pub(crate) fn live_append_op(store: &Store, seq: u64, op: &WriteOp) -> RetrievalResult<()> {
+    let mut w = ByteWriter::new();
+    match op {
+        WriteOp::Insert(rows) => {
+            w.u8(0);
+            w.bytes(&encode_rows(rows));
+        }
+        WriteOp::Delete(url) => {
+            w.u8(1);
+            w.str(url);
+        }
+    }
+    store.put(live_key::op(seq), w.into_bytes());
+    store.commit()?;
+    Ok(())
+}
+
+/// Read every committed delta op with `seq > base_seq`, ascending.
+pub(crate) fn live_ops_after(store: &Store, base_seq: u64) -> RetrievalResult<Vec<(u64, WriteOp)>> {
+    let mut ops = Vec::new();
+    for key in store.keys() {
+        let Some(digits) = key.strip_prefix(live_key::OP_PREFIX) else { continue };
+        let seq: u64 =
+            digits.parse().map_err(|_| corrupt(&key, "unparseable op sequence number"))?;
+        if seq <= base_seq {
+            continue;
+        }
+        let bytes = must_get(store, &key)?;
+        let mut r = ByteReader::new(&bytes, &key);
+        let op = match r.u8()? {
+            0 => WriteOp::Insert(decode_rows(r.take(r.remaining())?, &key)?),
+            1 => WriteOp::Delete(r.str()?),
+            t => return Err(corrupt(&key, format!("bad op tag {t}")).into()),
+        };
+        ops.push((seq, op));
+    }
+    ops.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(ops)
 }
 
 // ---------------------------------------------------------------------------

@@ -34,11 +34,13 @@ pub mod durable;
 pub mod eval;
 pub mod feedback;
 pub mod ingest;
+pub mod live;
 pub mod query;
 pub mod retriever;
 pub mod serve;
 pub mod shard;
 
+pub use live::{GenerationStats, LiveCluster, LiveMirror, LiveReader, MutableCorpus};
 pub use retriever::{RetrievalError, RetrievalResult, Retriever};
 
 use cluster::VisualVocabulary;
@@ -167,6 +169,26 @@ impl MirrorDbms {
     /// Create with default configuration.
     pub fn with_defaults() -> Self {
         Self::new(MirrorConfig::default())
+    }
+
+    /// Build an instance directly from ingested library rows, reusing a
+    /// previously-built visual vocabulary / thesaurus. This is the
+    /// batch-rebuild primitive of the live-ingest tier: a delta merge
+    /// folds the surviving rows of a snapshot into a fresh compressed
+    /// generation through exactly the same loader the durable tier uses,
+    /// so the merged generation is bit-identical to a cold re-ingest.
+    pub fn from_rows(
+        config: MirrorConfig,
+        rows: Vec<LibraryRow>,
+        vocab: Option<VisualVocabulary>,
+        thesaurus: Option<AssociationThesaurus>,
+    ) -> moa::Result<Self> {
+        let mut db = MirrorDbms::new(config);
+        db.load_library_rows(rows)?;
+        if let (Some(v), Some(t)) = (vocab, thesaurus) {
+            db.set_ingest_outputs(v, t);
+        }
+        Ok(db)
     }
 
     /// The logical environment (schemas, catalog, registries).

@@ -467,6 +467,21 @@ impl<R: Retriever + 'static> Drop for MirrorServer<R> {
     }
 }
 
+impl<R: crate::live::MutableCorpus + 'static> MirrorServer<R> {
+    /// Route an insert batch to the mutable backend (caller-thread write:
+    /// queries stream through the worker pool while writers mutate
+    /// snapshots — MVCC isolation means neither blocks the other).
+    pub fn insert_rows(&self, rows: Vec<crate::LibraryRow>) -> RetrievalResult<u64> {
+        self.db.insert_rows(rows)
+    }
+
+    /// Route a delete to the mutable backend; `None` if no live document
+    /// has the URL.
+    pub fn delete(&self, url: &str) -> RetrievalResult<Option<u64>> {
+        self.db.delete(url)
+    }
+}
+
 /// One replica of a shard: a shared backend plus the router's view of its
 /// liveness and load.
 struct Replica<R> {

@@ -1,0 +1,372 @@
+//! Delta segments: the mutable side of a live (MVCC) index.
+//!
+//! A frozen [`InvertedIndex`] generation is immutable — block-compressed
+//! postings, pinned statistics, BATs in the catalog. Documents that arrive
+//! *after* the generation was cut land in a [`DeltaSeg`]: an uncompressed,
+//! append-only posting map over the new documents, cheap to build one
+//! document at a time and cheap to discard when a merge folds it into the
+//! next compressed generation.
+//!
+//! [`eval_live_channel`] evaluates one evidence channel over the union of
+//! a base generation and any number of delta segments, with a tombstone
+//! set masking deleted documents on both sides. It reproduces the
+//! floating-point arithmetic of the `contrep.getbl` kernel operator
+//! *exactly* — same per-term belief inputs, same accumulation order
+//! (matched terms in query order, then the default-belief row) — so a
+//! live snapshot ranks bit-identically to a batch-built index over the
+//! same surviving documents. Collection statistics (`n_docs`, `avg_dl`)
+//! and per-term document frequencies are supplied by the caller, which is
+//! what lets a sharded deployment evaluate each shard with *global*
+//! union statistics.
+
+use crate::belief::BeliefParams;
+use crate::index::{InvertedIndex, Posting};
+use monet::fxhash::{FxHashMap, FxHashSet};
+use monet::Oid;
+use std::collections::HashMap;
+
+/// An append-only, uncompressed inverted-index segment over documents
+/// appended after a base generation of `first_doc` documents was frozen.
+/// Document ids are *global* live ids (`first_doc`, `first_doc + 1`, …),
+/// so postings from base and delta never collide.
+#[derive(Debug, Clone)]
+pub struct DeltaSeg {
+    first_doc: Oid,
+    /// term → document-ordered postings (global live ids).
+    postings: HashMap<String, Vec<Posting>>,
+    doc_len: Vec<u32>,
+    total_tokens: u64,
+}
+
+impl DeltaSeg {
+    /// Create an empty segment whose first document will get id
+    /// `first_doc`.
+    pub fn new(first_doc: Oid) -> Self {
+        DeltaSeg { first_doc, postings: HashMap::new(), doc_len: Vec::new(), total_tokens: 0 }
+    }
+
+    /// Append the next document from pre-tokenised terms; returns its
+    /// global live id. An empty token slice keeps oid alignment for
+    /// documents with no evidence on this channel (like
+    /// [`crate::IndexBuilder::add_text`] with `None`).
+    pub fn add_doc<S: AsRef<str>>(&mut self, tokens: &[S]) -> Oid {
+        let doc = self.first_doc + self.doc_len.len() as Oid;
+        self.doc_len.push(tokens.len() as u32);
+        self.total_tokens += tokens.len() as u64;
+        let mut counts: HashMap<&str, u32> = HashMap::new();
+        for t in tokens {
+            *counts.entry(t.as_ref()).or_insert(0) += 1;
+        }
+        for (term, tf) in counts {
+            self.postings.entry(term.to_string()).or_default().push(Posting { doc, tf });
+        }
+        doc
+    }
+
+    /// Global id of the first document in this segment.
+    pub fn first_doc(&self) -> Oid {
+        self.first_doc
+    }
+
+    /// Number of documents appended so far.
+    pub fn n_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// One past the last global id held by this segment.
+    pub fn end_doc(&self) -> Oid {
+        self.first_doc + self.doc_len.len() as Oid
+    }
+
+    /// Segment-local document frequency of a term.
+    pub fn df(&self, term: &str) -> u32 {
+        self.postings.get(term).map_or(0, |p| p.len() as u32)
+    }
+
+    /// Token count of a document (global id); 0 outside the segment.
+    pub fn doc_len(&self, doc: Oid) -> u32 {
+        if doc < self.first_doc {
+            return 0;
+        }
+        self.doc_len.get((doc - self.first_doc) as usize).copied().unwrap_or(0)
+    }
+
+    /// Total tokens across the segment's documents.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Postings of a term, document-ordered, if the term occurs.
+    pub fn postings(&self, term: &str) -> Option<&[Posting]> {
+        self.postings.get(term).map(Vec::as_slice)
+    }
+
+    /// Approximate heap bytes held by the segment (postings + lengths).
+    pub fn heap_bytes(&self) -> usize {
+        self.doc_len.len() * 4
+            + self
+                .postings
+                .iter()
+                .map(|(t, p)| t.len() + p.len() * std::mem::size_of::<Posting>())
+                .sum::<usize>()
+    }
+}
+
+/// One query term resolved for live evaluation: the weight it carries in
+/// the request and its *union* document frequency (base + deltas −
+/// tombstoned documents; global across shards in a cluster).
+#[derive(Debug, Clone)]
+pub struct LiveTerm {
+    /// The (stemmed or visual) term.
+    pub term: String,
+    /// Query weight.
+    pub weight: f64,
+    /// Union document frequency the belief is scored with.
+    pub df: u32,
+}
+
+/// Collection statistics of the live union for one channel — supplied by
+/// the caller so a cluster can score every shard with global numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveStats {
+    /// Live (non-tombstoned) documents in the union.
+    pub n_docs: usize,
+    /// Average document length over the union, `total_tokens / n_docs`.
+    pub avg_dl: f64,
+}
+
+/// Token count of `doc` in the base-plus-deltas union.
+fn union_doc_len(base: Option<&InvertedIndex>, segs: &[&DeltaSeg], doc: Oid) -> u32 {
+    if let Some(base) = base {
+        if (doc as usize) < base.n_docs() {
+            return base.doc_len(doc);
+        }
+    }
+    for seg in segs {
+        if doc >= seg.first_doc() && doc < seg.end_doc() {
+            return seg.doc_len(doc);
+        }
+    }
+    0
+}
+
+/// Evaluate one evidence channel of a live snapshot: per surviving
+/// document that matches at least one query term, the weight-normalised
+/// belief sum the `contrep.getbl` operator (plus grouped sum) would
+/// produce over a batch index of the same surviving documents.
+///
+/// The accumulation replicates the kernel operator bit for bit: terms are
+/// walked in query order, each match adds `w · bel / Σw`, and one
+/// default-belief row `α · (Σw − matched_w) / Σw` is added last for
+/// documents missing some query term. Tombstoned documents are masked in
+/// both the base postings and the delta segments; `domain`, when present,
+/// restricts scoring exactly like the relational selection pushed into
+/// `getbl`.
+pub fn eval_live_channel(
+    base: Option<&InvertedIndex>,
+    segs: &[&DeltaSeg],
+    params: BeliefParams,
+    query: &[LiveTerm],
+    stats: LiveStats,
+    tombstones: &FxHashSet<Oid>,
+    domain: Option<&FxHashSet<Oid>>,
+) -> FxHashMap<Oid, f64> {
+    let mut score: FxHashMap<Oid, f64> = FxHashMap::default();
+    let total_w: f64 = query.iter().map(|t| t.weight).sum();
+    if total_w <= 0.0 {
+        return score;
+    }
+    let mut matched_w: FxHashMap<Oid, f64> = FxHashMap::default();
+    for t in query {
+        let base_posts = base.and_then(|b| b.postings(&t.term));
+        let from_base = base_posts.iter().flat_map(|v| v.iter());
+        let from_segs = segs.iter().flat_map(|s| s.postings(&t.term).into_iter().flatten());
+        for p in from_base.chain(from_segs) {
+            if tombstones.contains(&p.doc) {
+                continue;
+            }
+            if let Some(dom) = domain {
+                if !dom.contains(&p.doc) {
+                    continue;
+                }
+            }
+            let dl = union_doc_len(base, segs, p.doc);
+            let b = params.belief(p.tf, t.df, dl, stats.n_docs, stats.avg_dl);
+            *score.entry(p.doc).or_insert(0.0) += t.weight * b / total_w;
+            *matched_w.entry(p.doc).or_insert(0.0) += t.weight;
+        }
+    }
+    for (doc, mw) in matched_w {
+        if mw < total_w {
+            *score.entry(doc).or_insert(0.0) += params.alpha * (total_w - mw) / total_w;
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    /// Batch reference over the same docs as base + delta.
+    fn batch_index(docs: &[&str]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            b.add_tokens(&toks(d));
+        }
+        b.build()
+    }
+
+    fn batch_score(index: &InvertedIndex, query: &[(&str, f64)]) -> FxHashMap<Oid, f64> {
+        // the getbl operator's exact loop, over a single batch index
+        let params = BeliefParams::default();
+        let stats = index.stats();
+        let total_w: f64 = query.iter().map(|(_, w)| w).sum();
+        let mut score: FxHashMap<Oid, f64> = FxHashMap::default();
+        let mut matched: FxHashMap<Oid, f64> = FxHashMap::default();
+        for (t, w) in query {
+            let df = index.df(t);
+            let Some(posts) = index.postings(t) else { continue };
+            for p in posts {
+                let b = params.belief(p.tf, df, index.doc_len(p.doc), stats.n_docs, stats.avg_dl);
+                *score.entry(p.doc).or_insert(0.0) += w * b / total_w;
+                *matched.entry(p.doc).or_insert(0.0) += w;
+            }
+        }
+        for (doc, mw) in matched {
+            if mw < total_w {
+                *score.entry(doc).or_insert(0.0) += params.alpha * (total_w - mw) / total_w;
+            }
+        }
+        score
+    }
+
+    #[test]
+    fn segment_assigns_global_ids_and_counts() {
+        let mut seg = DeltaSeg::new(10);
+        assert_eq!(seg.add_doc(&toks("a b a")), 10);
+        assert_eq!(seg.add_doc::<&str>(&[]), 11);
+        assert_eq!(seg.add_doc(&toks("b c")), 12);
+        assert_eq!(seg.n_docs(), 3);
+        assert_eq!(seg.end_doc(), 13);
+        assert_eq!(seg.df("a"), 1);
+        assert_eq!(seg.df("b"), 2);
+        assert_eq!(seg.doc_len(10), 3);
+        assert_eq!(seg.doc_len(11), 0);
+        assert_eq!(seg.total_tokens(), 5);
+        let posts = seg.postings("b").unwrap();
+        assert_eq!(posts.iter().map(|p| (p.doc, p.tf)).collect::<Vec<_>>(), vec![(10, 1), (12, 1)]);
+    }
+
+    #[test]
+    fn live_union_matches_batch_index_bit_for_bit() {
+        let docs = ["sunset beach glow", "forest mist", "beach sand sunset sunset", "city night"];
+        // base holds the first two, the delta the rest
+        let base = batch_index(&docs[..2]);
+        let mut seg = DeltaSeg::new(2);
+        for d in &docs[2..] {
+            seg.add_doc(&toks(d));
+        }
+        let reference = batch_index(&docs);
+        let query = [("sunset", 1.0), ("beach", 2.0), ("night", 0.5)];
+        let live_query: Vec<LiveTerm> = query
+            .iter()
+            .map(|(t, w)| LiveTerm { term: t.to_string(), weight: *w, df: reference.df(t) })
+            .collect();
+        let stats = reference.stats();
+        let got = eval_live_channel(
+            Some(&base),
+            &[&seg],
+            BeliefParams::default(),
+            &live_query,
+            LiveStats { n_docs: stats.n_docs, avg_dl: stats.avg_dl },
+            &FxHashSet::default(),
+            None,
+        );
+        let want = batch_score(&reference, &query);
+        assert_eq!(got.len(), want.len());
+        for (doc, s) in &want {
+            assert_eq!(got.get(doc), Some(s), "doc {doc}");
+        }
+    }
+
+    #[test]
+    fn tombstones_mask_base_and_delta_documents() {
+        let docs = ["sunset beach", "sunset mist", "beach sand"];
+        let base = batch_index(&docs[..2]);
+        let mut seg = DeltaSeg::new(2);
+        seg.add_doc(&toks(docs[2]));
+        // delete doc 1 (base) and doc 2 (delta): survivors = [doc 0]
+        let tombs: FxHashSet<Oid> = [1, 2].into_iter().collect();
+        let reference = batch_index(&docs[..1]);
+        let stats = reference.stats();
+        let query = vec![
+            LiveTerm { term: "sunset".into(), weight: 1.0, df: reference.df("sunset") },
+            LiveTerm { term: "beach".into(), weight: 1.0, df: reference.df("beach") },
+        ];
+        let got = eval_live_channel(
+            Some(&base),
+            &[&seg],
+            BeliefParams::default(),
+            &query,
+            LiveStats { n_docs: stats.n_docs, avg_dl: stats.avg_dl },
+            &tombs,
+            None,
+        );
+        let want = batch_score(&reference, &[("sunset", 1.0), ("beach", 1.0)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.get(&0), want.get(&0));
+    }
+
+    #[test]
+    fn empty_or_nonpositive_query_scores_nothing() {
+        let base = batch_index(&["a b"]);
+        let stats = base.stats();
+        let live_stats = LiveStats { n_docs: stats.n_docs, avg_dl: stats.avg_dl };
+        let none = eval_live_channel(
+            Some(&base),
+            &[],
+            BeliefParams::default(),
+            &[],
+            live_stats,
+            &FxHashSet::default(),
+            None,
+        );
+        assert!(none.is_empty());
+        let zero_w = [LiveTerm { term: "a".into(), weight: 0.0, df: 1 }];
+        let none = eval_live_channel(
+            Some(&base),
+            &[],
+            BeliefParams::default(),
+            &zero_w,
+            live_stats,
+            &FxHashSet::default(),
+            None,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn domain_restricts_scoring() {
+        let base = batch_index(&["sunset", "sunset", "sunset"]);
+        let stats = base.stats();
+        let query = [LiveTerm { term: "sunset".into(), weight: 1.0, df: 3 }];
+        let dom: FxHashSet<Oid> = [1].into_iter().collect();
+        let got = eval_live_channel(
+            Some(&base),
+            &[],
+            BeliefParams::default(),
+            &query,
+            LiveStats { n_docs: stats.n_docs, avg_dl: stats.avg_dl },
+            &FxHashSet::default(),
+            Some(&dom),
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got.contains_key(&1));
+    }
+}

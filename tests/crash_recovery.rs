@@ -14,7 +14,7 @@
 
 use mirror::core::query::RankedResult;
 use mirror::core::shard::MirrorCluster;
-use mirror::core::{MirrorDbms, RetrievalError, Retriever};
+use mirror::core::{LibraryRow, LiveMirror, MirrorDbms, RetrievalError, Retriever};
 use mirror::media::{CrawledImage, RobotConfig, WebRobot};
 use mirror::monet::storage::BitFlip;
 use mirror::monet::{FaultFs, FaultPlan, MemFs, StorageBackend, Store, StoreOptions};
@@ -309,6 +309,226 @@ fn scratch_dir(name: &str) -> std::path::PathBuf {
 }
 
 // ---------------------------------------------------------------------------
+// Live ingest: crash mid-delta-append and mid-merge
+// ---------------------------------------------------------------------------
+
+/// The contract: a durable live session killed at *any* backend write
+/// reopens to the state of **some op prefix** of its write sequence —
+/// the old generation wins if the crash hit a merge, the committed WAL
+/// ops replay if it hit a delta append — never a torn hybrid. A write
+/// is only acknowledged after its WAL record commits, so every
+/// acknowledged op survives.
+/// Live comparisons drop the oid: live arrival oids and a re-ingest's
+/// dense oids differ by a monotone bijection once deletes exist, so
+/// bit-identity is judged on the `(url, score)` sequences.
+type KeyedProbes = Vec<Vec<(String, f64)>>;
+
+fn keyed(runs: Vec<Vec<RankedResult>>) -> KeyedProbes {
+    runs.into_iter().map(|hits| hits.into_iter().map(|h| (h.url, h.score)).collect()).collect()
+}
+
+struct LiveBaseline {
+    base_rows: Vec<LibraryRow>,
+    /// Reference probes of every op-prefix state (index = ops applied).
+    prefix_probes: Vec<KeyedProbes>,
+    /// Backend writes in the fault-free scripted session.
+    total_writes: u64,
+    /// Writes issued by the time `create_durable` returned — before
+    /// this point a crash may leave a never-initialised store.
+    writes_at_init: u64,
+}
+
+/// The scripted session: ops 1–5 around two merges, so the crash sweep
+/// covers delta appends, a merge between ops, and a trailing merge.
+fn live_base(b: &Baseline) -> MirrorDbms {
+    let rows = b.db.library_rows()[..10].to_vec();
+    MirrorDbms::from_rows(
+        b.db.config().clone(),
+        rows,
+        b.db.vocabulary().cloned(),
+        b.db.thesaurus().cloned(),
+    )
+    .unwrap()
+}
+
+fn run_live_script(b: &Baseline, store: Arc<Store>) -> Result<(), RetrievalError> {
+    let rows = b.db.library_rows();
+    let live = LiveMirror::create_durable(live_base(b), store)?;
+    live.insert_rows(rows[10..12].to_vec())?; // op 1
+    live.insert_rows(rows[12..14].to_vec())?; // op 2
+    live.delete(&rows[0].url)?; //                op 3
+    live.merge()?;
+    live.insert_rows(rows[14..16].to_vec())?; // op 4
+    live.delete(&rows[11].url)?; //               op 5
+    live.merge()?;
+    Ok(())
+}
+
+fn live_baseline() -> &'static LiveBaseline {
+    static LB: OnceLock<LiveBaseline> = OnceLock::new();
+    LB.get_or_init(|| {
+        let b = baseline();
+        let rows = b.db.library_rows();
+        let base_rows = rows[..10].to_vec();
+
+        // reference state after each op prefix (merges don't change contents)
+        let mut surviving: Vec<LibraryRow> = base_rows.clone();
+        let mut prefix_probes = Vec::new();
+        let reference = |rows: &[LibraryRow]| {
+            MirrorDbms::from_rows(
+                b.db.config().clone(),
+                rows.to_vec(),
+                b.db.vocabulary().cloned(),
+                b.db.thesaurus().cloned(),
+            )
+            .unwrap()
+        };
+        prefix_probes.push(keyed(probe(&reference(&surviving))));
+        let op = |surviving: &mut Vec<LibraryRow>, change: &dyn Fn(&mut Vec<LibraryRow>)| {
+            change(surviving);
+            keyed(probe(&reference(surviving)))
+        };
+        prefix_probes.push(op(&mut surviving, &|s| s.extend(rows[10..12].to_vec())));
+        prefix_probes.push(op(&mut surviving, &|s| s.extend(rows[12..14].to_vec())));
+        prefix_probes.push(op(&mut surviving, &|s| s.retain(|r| r.url != rows[0].url)));
+        prefix_probes.push(op(&mut surviving, &|s| s.extend(rows[14..16].to_vec())));
+        prefix_probes.push(op(&mut surviving, &|s| s.retain(|r| r.url != rows[11].url)));
+
+        // count the session's writes fault-free, marking initialisation
+        let fs = MemFs::new();
+        let counter = Arc::new(FaultFs::new(Arc::new(fs.clone()), FaultPlan::default()));
+        let store = Arc::new(Store::open(counter.clone(), StoreOptions::default()).unwrap());
+        let live = LiveMirror::create_durable(live_base(b), Arc::clone(&store)).unwrap();
+        let writes_at_init = counter.writes_issued();
+        live.insert_rows(rows[10..12].to_vec()).unwrap();
+        live.insert_rows(rows[12..14].to_vec()).unwrap();
+        live.delete(&rows[0].url).unwrap();
+        live.merge().unwrap();
+        live.insert_rows(rows[14..16].to_vec()).unwrap();
+        live.delete(&rows[11].url).unwrap();
+        live.merge().unwrap();
+        let total_writes = counter.writes_issued();
+        assert!(total_writes > writes_at_init, "script must write past initialisation");
+
+        // sanity: the fault-free session serves the final prefix state
+        assert_eq!(&keyed(probe(&live)), prefix_probes.last().unwrap());
+
+        LiveBaseline { base_rows, prefix_probes, total_writes, writes_at_init }
+    })
+}
+
+/// Kill the scripted live session at write `w`, reopen, and hold the
+/// recovered state to the some-op-prefix contract.
+fn live_crash_and_check(w: u64, torn: usize) -> Result<(), TestCaseError> {
+    let b = baseline();
+    let lb = live_baseline();
+    let fs = MemFs::new();
+    let plan = FaultPlan { crash_at_write: Some(w), torn_bytes: torn, flips: vec![] };
+    let fault = Arc::new(FaultFs::new(Arc::new(fs.clone()), plan));
+    let crashed = (|| -> Result<(), RetrievalError> {
+        let store = Arc::new(Store::open(fault.clone(), StoreOptions::default())?);
+        run_live_script(b, store)
+    })();
+    prop_assert!(crashed.is_err(), "live crash at write {w} (torn {torn}) did not fire");
+    prop_assert!(fault.crashed());
+
+    let store = Arc::new(reopen(&fs));
+    match LiveMirror::open_durable(store) {
+        Ok(live) => {
+            let got = keyed(probe(&live));
+            let prefix = lb.prefix_probes.iter().position(|p| p == &got);
+            prop_assert!(
+                prefix.is_some(),
+                "crash at write {} (torn {}): reopened state matches no op prefix ({} docs)",
+                w,
+                torn,
+                live.n_docs()
+            );
+        }
+        Err(RetrievalError::IncompleteState { .. }) => {
+            // only legitimate before create_durable ever acknowledged
+            prop_assert!(
+                w < lb.writes_at_init,
+                "crash at write {} (torn {}): initialised store reopened incomplete",
+                w,
+                torn
+            );
+        }
+        Err(other) => {
+            return Err(TestCaseError::fail(format!(
+                "live crash at write {w} (torn {torn}): unexpected error kind: {other}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn live_session_crash_at_every_write_reopens_to_an_op_prefix() {
+    let lb = live_baseline();
+    for w in 0..lb.total_writes {
+        live_crash_and_check(w, 0).unwrap();
+    }
+}
+
+#[test]
+fn live_session_clean_reopen_resumes_writes_with_fresh_sequence_numbers() {
+    let b = baseline();
+    let lb = live_baseline();
+    let fs = MemFs::new();
+    let store = Arc::new(Store::open(Arc::new(fs.clone()), StoreOptions::default()).unwrap());
+    run_live_script(b, store).unwrap();
+
+    let reopened = LiveMirror::open_durable(Arc::new(reopen(&fs))).unwrap();
+    assert_eq!(&keyed(probe(&reopened)), lb.prefix_probes.last().unwrap());
+
+    // writes continue durably after reopen: insert, reopen again, verify
+    let extra = LibraryRow {
+        url: "http://live/extra".into(),
+        annotation: Some("sunset over the water again".into()),
+        vterms: lb.base_rows[0].vterms.clone(),
+        theme: 0,
+    };
+    reopened.insert_rows(vec![extra.clone()]).unwrap();
+    let expected = keyed(probe(&reopened));
+    drop(reopened);
+    let again = LiveMirror::open_durable(Arc::new(reopen(&fs))).unwrap();
+    assert_eq!(keyed(probe(&again)), expected);
+    assert_eq!(again.pin().surviving_rows().last().unwrap(), &extra);
+}
+
+#[test]
+fn live_torn_wal_tail_after_delta_appends_reopens_to_committed_prefix() {
+    let b = baseline();
+    let lb = live_baseline();
+    let rows = b.db.library_rows();
+    let fs = MemFs::new();
+    {
+        let store = Arc::new(Store::open(Arc::new(fs.clone()), StoreOptions::default()).unwrap());
+        let live = LiveMirror::create_durable(live_base(b), store).unwrap();
+        live.insert_rows(rows[10..12].to_vec()).unwrap();
+        live.insert_rows(rows[12..14].to_vec()).unwrap();
+    }
+    // a crash tore the tail of the op WAL: kernel recovery discards it
+    fs.append("wal.log", &[0xAB, 0x00, 0x00, 0x00, 0x17, 0x9c, 0x4e]).unwrap();
+    let live = LiveMirror::open_durable(Arc::new(reopen(&fs))).unwrap();
+    let got = keyed(probe(&live));
+    assert!(lb.prefix_probes[..3].contains(&got), "torn delta tail reopened to a non-prefix state");
+}
+
+#[test]
+fn fresh_store_reports_never_initialised_live_instance() {
+    let store = Arc::new(reopen(&MemFs::new()));
+    match LiveMirror::open_durable(store) {
+        Err(RetrievalError::IncompleteState { detail }) => {
+            assert!(detail.contains("never initialised"), "detail: {detail}")
+        }
+        Ok(_) => panic!("opened a live instance from an empty store"),
+        Err(other) => panic!("expected IncompleteState, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Properties
 // ---------------------------------------------------------------------------
 
@@ -322,6 +542,16 @@ proptest! {
         let b = baseline();
         let w = ((frac * b.total_writes as f64) as u64).min(b.total_writes - 1);
         crash_and_check(w, torn)?;
+    }
+
+    /// The same property for a live ingest session: random kill point ×
+    /// torn tail across delta appends and merges always reopens to an
+    /// op-prefix state.
+    #[test]
+    fn prop_live_random_crash_with_torn_tail_reopens_to_prefix(frac in 0.0f64..1.0, torn in 0usize..7) {
+        let lb = live_baseline();
+        let w = ((frac * lb.total_writes as f64) as u64).min(lb.total_writes - 1);
+        live_crash_and_check(w, torn)?;
     }
 
     /// A bit flipped anywhere in a durable page file is detected at open

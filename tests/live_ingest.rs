@@ -1,0 +1,504 @@
+//! Live ingest under serving load: the adversarial proof of MVCC
+//! snapshot isolation.
+//!
+//! The contract under test (ISSUE 9): writer threads insert/delete while
+//! reader threads query, and **every** result a reader ever observes is
+//! bit-identical to a batch re-ingest of *some quiesced prefix* of the
+//! write sequence; deleted documents never surface on any query surface;
+//! a pinned generation stays readable across merges and is reclaimed
+//! (counter-proven) once unpinned.
+//!
+//! Bit-identity is compared on `(url, score)` pairs: live arrival oids
+//! and a re-ingest's dense oids differ by a monotone bijection, so equal
+//! corpora must produce equal url/score sequences — including equal-score
+//! tie-breaks.
+
+use mirror::core::feedback::FeedbackQuery;
+use mirror::core::query::weighted_terms;
+use mirror::core::serve::{MirrorServer, RetrievalRequest};
+use mirror::core::{LibraryRow, RetrievalResult};
+use mirror::core::{
+    LiveCluster, LiveMirror, LiveReader, MirrorConfig, MirrorDbms, MutableCorpus, Retriever,
+};
+use mirror::media::{RobotConfig, WebRobot};
+use mirror::{cluster::VisualVocabulary, thesaurus::AssociationThesaurus};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Fixture: one batch-ingested corpus supplying rows, vocabulary, thesaurus
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    config: MirrorConfig,
+    /// All ingested rows: a prefix seeds live instances, the rest is the
+    /// insert pool (real in-vocabulary visual terms).
+    rows: Vec<LibraryRow>,
+    vocab: VisualVocabulary,
+    thes: AssociationThesaurus,
+    fq: FeedbackQuery,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let mut db = MirrorDbms::with_defaults();
+        let corpus = WebRobot::new(RobotConfig {
+            n_images: 48,
+            image_size: 24,
+            unannotated_fraction: 0.25,
+            seed: 17,
+        })
+        .crawl();
+        db.ingest(&corpus).unwrap();
+        let rows = db.library_rows().to_vec();
+        let visual = rows
+            .iter()
+            .find(|r| !r.vterms.is_empty())
+            .map(|r| r.vterms.split_whitespace().take(2).map(|t| (t.to_string(), 1.0)).collect())
+            .unwrap_or_default();
+        Fixture {
+            config: db.config().clone(),
+            vocab: db.vocabulary().unwrap().clone(),
+            thes: db.thesaurus().unwrap().clone(),
+            rows,
+            fq: FeedbackQuery { text: weighted_terms("ocean wave sky"), visual },
+        }
+    })
+}
+
+/// The query battery: every surface of the satellite checklist —
+/// `query_text`, `query_dual`, `query_text_filtered`, `run_feedback_query`.
+fn probe_requests(f: &Fixture) -> Vec<RetrievalRequest> {
+    vec![
+        RetrievalRequest::text("sunset over the water", 10),
+        RetrievalRequest::dual("forest tree", 0.5, 10),
+        RetrievalRequest::text("city desert", 10).with_filter("1"),
+        RetrievalRequest::dual_terms(f.fq.text.clone(), f.fq.visual.clone(), 0.4, 10),
+    ]
+}
+
+type Keyed = Vec<Vec<(String, f64)>>;
+
+fn keyed(runs: Vec<Vec<mirror::core::query::RankedResult>>) -> Keyed {
+    runs.into_iter().map(|hits| hits.into_iter().map(|h| (h.url, h.score)).collect()).collect()
+}
+
+fn probe(r: &(impl Retriever + ?Sized), f: &Fixture) -> Keyed {
+    keyed(probe_requests(f).iter().map(|q| r.retrieve(q).unwrap()).collect())
+}
+
+fn probe_reader(r: &LiveReader, f: &Fixture) -> Keyed {
+    keyed(probe_requests(f).iter().map(|q| r.retrieve(q).unwrap()).collect())
+}
+
+/// A batch re-ingest of `rows` with the shared vocabulary/thesaurus —
+/// the ground truth every live snapshot must be bit-identical to.
+fn reference(f: &Fixture, rows: Vec<LibraryRow>) -> MirrorDbms {
+    MirrorDbms::from_rows(f.config.clone(), rows, Some(f.vocab.clone()), Some(f.thes.clone()))
+        .unwrap()
+}
+
+fn seed_live(f: &Fixture, n_base: usize) -> LiveMirror {
+    LiveMirror::new(reference(f, f.rows[..n_base].to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Write-op replay model (the specification the live path is held to)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<LibraryRow>),
+    Delete(String),
+}
+
+/// Replay ops over `(row, alive)` history: insert appends, delete
+/// tombstones the *latest* alive row with the URL (the live semantics).
+fn apply(history: &mut Vec<(LibraryRow, bool)>, op: &Op) {
+    match op {
+        Op::Insert(rows) => history.extend(rows.iter().cloned().map(|r| (r, true))),
+        Op::Delete(url) => {
+            if let Some(e) = history.iter_mut().rev().find(|(r, alive)| *alive && r.url == *url) {
+                e.1 = false;
+            }
+        }
+    }
+}
+
+fn survivors(history: &[(LibraryRow, bool)]) -> Vec<LibraryRow> {
+    history.iter().filter(|(_, alive)| *alive).map(|(r, _)| r.clone()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1 — concurrent stress: every observed result ≡ some prefix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_writers_and_readers_observe_only_quiesced_prefix_states() {
+    let f = fixture();
+    const N_BASE: usize = 30;
+    let live = seed_live(f, N_BASE);
+
+    // two writers on disjoint URL sets, three readers pinning snapshots
+    let (mut log_a, mut log_b) = (Vec::new(), Vec::new());
+    let mut observed: Vec<Vec<(u64, Keyed)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let inserter = scope.spawn(|| {
+            let mut log = Vec::new();
+            for chunk in f.rows[N_BASE..].chunks(2) {
+                let seq = live.insert_rows(chunk.to_vec()).unwrap();
+                log.push((seq, Op::Insert(chunk.to_vec())));
+            }
+            log
+        });
+        let deleter = scope.spawn(|| {
+            let mut log = Vec::new();
+            for row in f.rows[..N_BASE].iter().step_by(4) {
+                let seq = live.delete(&row.url).unwrap().expect("base url is live");
+                log.push((seq, Op::Delete(row.url.clone())));
+            }
+            log
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(|| {
+                    (0..12)
+                        .map(|_| {
+                            let pin = live.pin();
+                            (pin.seq(), probe_reader(&pin, f))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        log_a = inserter.join().unwrap();
+        log_b = deleter.join().unwrap();
+        observed = readers.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+
+    // sequence numbers are assigned under the writer lock and the
+    // snapshot swaps before the lock releases, so snapshot seq = s holds
+    // exactly ops 1..=s — build the reference state for each prefix
+    let mut ops: Vec<(u64, Op)> = log_a.into_iter().chain(log_b).collect();
+    ops.sort_by_key(|&(seq, _)| seq);
+    assert_eq!(
+        ops.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+        (1..=ops.len() as u64).collect::<Vec<_>>(),
+        "write sequence must be gap-free"
+    );
+
+    let mut history: Vec<(LibraryRow, bool)> =
+        f.rows[..N_BASE].iter().cloned().map(|r| (r, true)).collect();
+    let mut prefix_probes: Vec<Keyed> = vec![probe(&reference(f, survivors(&history)), f)];
+    for (_, op) in &ops {
+        apply(&mut history, op);
+        prefix_probes.push(probe(&reference(f, survivors(&history)), f));
+    }
+
+    let mut checked = 0;
+    for per_reader in &observed {
+        for (seq, results) in per_reader {
+            assert_eq!(
+                results, &prefix_probes[*seq as usize],
+                "snapshot at seq {seq} is not the quiesced prefix state"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 36);
+
+    // final quiesce ≡ batch re-ingest of the surviving docs, before and
+    // after the delta folds into a compressed generation
+    let final_probe = prefix_probes.last().unwrap();
+    assert_eq!(&probe(&live, f), final_probe);
+    live.merge().unwrap();
+    assert_eq!(&probe(&live, f), final_probe, "merged generation diverged from the delta view");
+    assert_eq!(live.pin().surviving_rows(), survivors(&history));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2 — tombstones never surface, on any query surface
+// ---------------------------------------------------------------------------
+
+fn urls_in(probes: &Keyed) -> Vec<String> {
+    let mut urls: Vec<String> = probes.iter().flatten().map(|(u, _)| u.clone()).collect();
+    urls.sort();
+    urls.dedup();
+    urls
+}
+
+#[test]
+fn deleted_docs_never_surface_on_any_query_surface() {
+    let f = fixture();
+    let live = seed_live(f, f.rows.len());
+
+    // delete every document the battery currently surfaces
+    let victims = urls_in(&probe(&live, f));
+    assert!(victims.len() >= 5, "battery should surface several docs, got {}", victims.len());
+    for url in &victims {
+        live.delete(url).unwrap().expect("surfaced url is live");
+    }
+
+    let check = |live: &LiveMirror, stage: &str| {
+        let after = probe(live, f);
+        for url in &victims {
+            assert!(!urls_in(&after).contains(url), "{stage}: deleted {url} surfaced in {after:?}");
+        }
+        let expect = probe(&reference(f, live.pin().surviving_rows()), f);
+        assert_eq!(after, expect, "{stage}: live ranking diverged from batch re-ingest");
+    };
+    check(&live, "delta tombstones");
+
+    // fold and re-check: the merged generation has no tombstone set, and
+    // with an empty delta queries take the fused topk_bl fast path
+    live.merge().unwrap();
+    check(&live, "post-merge (fused topk_bl)");
+
+    // the served path sees the same isolation
+    let server = MirrorServer::start(Arc::new(live), 2);
+    for req in probe_requests(f) {
+        for (url, _) in keyed(vec![server.query(&req).unwrap()]).remove(0) {
+            assert!(!victims.contains(&url), "served query surfaced deleted {url}");
+        }
+    }
+    server.delete("no-such-url").unwrap();
+}
+
+#[test]
+fn clusters_of_1_2_4_shards_mask_tombstones_and_match_single_node() {
+    let f = fixture();
+
+    // ground truth: a single live node fed the same op sequence
+    let single = LiveMirror::new(reference(f, Vec::new()));
+    for chunk in f.rows.chunks(5) {
+        single.insert_rows(chunk.to_vec()).unwrap();
+    }
+    let victims = urls_in(&probe(&single, f));
+    assert!(!victims.is_empty());
+    for url in &victims {
+        single.delete(url).unwrap().expect("victim is live");
+    }
+    let expect_delta = probe(&single, f);
+    single.merge().unwrap();
+    let expect_merged = probe(&single, f);
+    assert_eq!(expect_delta, expect_merged);
+
+    for n_shards in [1usize, 2, 4] {
+        let cluster = LiveCluster::new(
+            n_shards,
+            f.config.clone(),
+            Some(f.vocab.clone()),
+            Some(f.thes.clone()),
+        )
+        .unwrap();
+        for chunk in f.rows.chunks(5) {
+            cluster.insert_rows(chunk.to_vec()).unwrap();
+        }
+        for url in &victims {
+            cluster.delete(url).unwrap().expect("victim is live on its shard");
+        }
+        assert_eq!(cluster.n_docs(), single.n_docs());
+        let got = probe(&cluster, f);
+        assert_eq!(
+            got, expect_delta,
+            "{n_shards}-shard cluster diverged from single node (delta view)"
+        );
+        for url in &victims {
+            assert!(!urls_in(&got).contains(url), "{n_shards} shards: deleted {url} surfaced");
+        }
+        cluster.merge_all().unwrap();
+        let got = probe(&cluster, f);
+        assert_eq!(
+            got, expect_merged,
+            "{n_shards}-shard cluster diverged from single node (merged view)"
+        );
+        assert!(cluster.delete("no-such-url").unwrap().is_none());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3 — epoch reclamation, counter-instrumented
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pinned_generation_survives_merges_and_is_reclaimed_after_unpin() {
+    let f = fixture();
+    const N_BASE: usize = 12;
+    let live = seed_live(f, N_BASE);
+    let s0 = live.generation_stats();
+    assert_eq!((s0.current, s0.created, s0.retired, s0.alive), (0, 1, 0, 1));
+    assert!(s0.alive_bytes > 0);
+
+    let pin0 = live.pin();
+    let pinned_probe = probe_reader(&pin0, f);
+    const K: u64 = 3;
+    for i in 0..K {
+        live.insert_rows(vec![f.rows[N_BASE + i as usize].clone()]).unwrap();
+        live.merge().unwrap();
+    }
+
+    // K merges: generations 1..K-1 retired the moment their snapshot was
+    // swapped out; generation 0 is held alive by the pin alone
+    let s = live.generation_stats();
+    assert_eq!((s.current, s.created, s.retired, s.alive), (K, K + 1, K - 1, 2));
+    assert_eq!(pin0.generation(), 0);
+    assert_eq!(probe_reader(&pin0, f), pinned_probe, "pinned snapshot drifted under churn");
+    assert_eq!(
+        probe_reader(&pin0, f),
+        probe(&reference(f, pin0.surviving_rows()), f),
+        "pinned snapshot is not its own quiesced state"
+    );
+
+    let bytes_while_pinned = s.alive_bytes;
+    drop(pin0);
+    let s = live.generation_stats();
+    assert_eq!((s.created, s.retired, s.alive), (K + 1, K, 1));
+    assert!(
+        s.alive_bytes < bytes_while_pinned,
+        "unpinning freed nothing: {} -> {}",
+        bytes_while_pinned,
+        s.alive_bytes
+    );
+
+    // churn with no standing pins never accumulates generations
+    for i in 0..3 {
+        live.insert_rows(vec![f.rows[N_BASE + K as usize + i].clone()]).unwrap();
+        live.merge().unwrap();
+    }
+    assert_eq!(live.generation_stats().alive, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Properties — seeded single-thread interleavings over the replay model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Step {
+    InsertPool(usize, usize), // offset, len (taken from the pool, cyclic)
+    DeleteNth(usize),         // delete the nth currently-live row
+    DeleteMissing,
+    Merge,
+}
+
+/// Decode a raw `(tag, a, b)` draw into a weighted step: the vendored
+/// proptest has no `prop_oneof`, so weights live in the tag ranges.
+fn decode_step((tag, a, b): (u8, usize, usize)) -> Step {
+    match tag {
+        0..=3 => Step::InsertPool(a, 1 + b % 2),
+        4..=6 => Step::DeleteNth(a),
+        7 => Step::DeleteMissing,
+        _ => Step::Merge,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any seeded schedule of inserts/deletes/merges leaves the live view
+    /// bit-identical to the replay model's batch re-ingest after every
+    /// single step.
+    #[test]
+    fn prop_seeded_schedules_track_their_quiesced_state(
+        raw in proptest::collection::vec((0u8..10, 0usize..64, 0usize..16), 1..10)
+    ) {
+        let steps: Vec<Step> = raw.into_iter().map(decode_step).collect();
+        let f = fixture();
+        const N_BASE: usize = 14;
+        let live = seed_live(f, N_BASE);
+        let mut history: Vec<(LibraryRow, bool)> =
+            f.rows[..N_BASE].iter().cloned().map(|r| (r, true)).collect();
+        let pool = &f.rows[N_BASE..];
+
+        let mut inserted = 0usize;
+        for step in &steps {
+            match step {
+                Step::InsertPool(offset, len) => {
+                    // fresh unique URLs so delete-by-url stays unambiguous
+                    let rows: Vec<LibraryRow> = (0..*len)
+                        .map(|i| {
+                            let mut r = pool[(offset + i) % pool.len()].clone();
+                            r.url = format!("{}#live-{}", r.url, inserted + i);
+                            r
+                        })
+                        .collect();
+                    inserted += len;
+                    let op = Op::Insert(rows.clone());
+                    live.insert_rows(rows).unwrap();
+                    apply(&mut history, &op);
+                }
+                Step::DeleteNth(n) => {
+                    let alive: Vec<String> = history
+                        .iter()
+                        .filter(|(_, a)| *a)
+                        .map(|(r, _)| r.url.clone())
+                        .collect();
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let url = alive[n % alive.len()].clone();
+                    prop_assert!(live.delete(&url).unwrap().is_some());
+                    apply(&mut history, &Op::Delete(url));
+                }
+                Step::DeleteMissing => {
+                    prop_assert!(live.delete("never-crawled").unwrap().is_none());
+                }
+                Step::Merge => live.merge().unwrap(),
+            }
+            let expect = probe(&reference(f, survivors(&history)), f);
+            prop_assert_eq!(&probe(&live, f), &expect, "diverged after {:?}", step);
+            prop_assert_eq!(live.n_docs(), history.iter().filter(|(_, a)| *a).count());
+        }
+        // final quiesce: fold everything and compare the corpus itself
+        live.merge().unwrap();
+        prop_assert_eq!(live.pin().surviving_rows(), survivors(&history));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Smoke: the image write path quantises through the pinned vocabulary
+// ---------------------------------------------------------------------------
+
+#[test]
+fn insert_images_matches_batch_ingest_of_the_same_crawl() {
+    let f = fixture();
+    let live = seed_live(f, f.rows.len());
+    let extra = WebRobot::new(RobotConfig {
+        n_images: 6,
+        image_size: 24,
+        unannotated_fraction: 0.25,
+        seed: 91,
+    })
+    .crawl();
+    live.insert_images(&extra).unwrap();
+    assert_eq!(live.n_docs(), f.rows.len() + extra.len());
+    // the extracted rows carry in-vocabulary visual terms
+    let pin = live.pin();
+    let rows = pin.surviving_rows();
+    assert!(rows[f.rows.len()..].iter().any(|r| !r.vterms.is_empty()));
+    // and the live view still tracks its batch re-ingest exactly
+    assert_eq!(probe(&live, f), probe(&reference(f, rows), f));
+}
+
+/// Compile-time proof the live types cross threads.
+#[allow(dead_code)]
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn live_types_are_send_and_sync() {
+    assert_send_sync::<LiveMirror>();
+    assert_send_sync::<LiveCluster>();
+    assert_send_sync::<LiveReader>();
+}
+
+#[test]
+fn mutable_corpus_is_object_safe_behind_the_server() {
+    let f = fixture();
+    let live = Arc::new(seed_live(f, 8));
+    let server = MirrorServer::start(Arc::clone(&live), 2);
+    let seq = server.insert_rows(vec![f.rows[10].clone()]).unwrap();
+    assert!(seq > 0);
+    let hits: RetrievalResult<_> = server.query(&RetrievalRequest::text("sunset", 5));
+    hits.unwrap();
+    assert_eq!(server.delete(&f.rows[10].url).unwrap(), Some(seq + 1));
+}
