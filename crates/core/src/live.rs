@@ -598,12 +598,25 @@ pub(crate) enum WriteOp {
 }
 
 struct WriterState {
-    /// URL → live oid of the *latest* document with that URL (updates are
-    /// delete + insert; re-inserting a URL re-targets future deletes).
-    url_to_oid: HashMap<String, Oid>,
+    /// URL → live oids of every document with that URL, in arrival order
+    /// (latest last). `delete` pops the latest; duplicate-URL inserts
+    /// stack, so deleting one re-targets the next-latest — the same
+    /// answer before and after any merge. Updates are delete + insert.
+    url_to_oids: HashMap<String, Vec<Oid>>,
     /// Writes since the state the current generation was folded from —
     /// what a racing merge replays onto the new generation.
     op_log: Vec<(u64, WriteOp)>,
+}
+
+/// Pop the latest live oid for `url` from a URL stack map, dropping the
+/// entry when its stack empties.
+fn pop_url(map: &mut HashMap<String, Vec<Oid>>, url: &str) -> Option<Oid> {
+    let stack = map.get_mut(url)?;
+    let oid = stack.pop();
+    if stack.is_empty() {
+        map.remove(url);
+    }
+    oid
 }
 
 /// A mutable corpus with epoch-based MVCC snapshots over an immutable
@@ -633,16 +646,13 @@ impl LiveMirror {
         let config = db.config().clone();
         let counters = Arc::new(LiveCounters::default());
         let gen = Arc::new(Generation::new(db, gen_no, Arc::clone(&counters)));
-        let url_to_oid = gen
-            .db
-            .library_rows()
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.url.clone(), i as Oid))
-            .collect();
+        let mut url_to_oids: HashMap<String, Vec<Oid>> = HashMap::new();
+        for (i, r) in gen.db.library_rows().iter().enumerate() {
+            url_to_oids.entry(r.url.clone()).or_default().push(i as Oid);
+        }
         LiveMirror {
             state: RwLock::new(Arc::new(LiveSnapshot::fresh(gen, base_seq))),
-            writer: Mutex::new(WriterState { url_to_oid, op_log: Vec::new() }),
+            writer: Mutex::new(WriterState { url_to_oids, op_log: Vec::new() }),
             merge_lock: Mutex::new(()),
             store: Mutex::new(None),
             counters,
@@ -735,7 +745,7 @@ impl LiveMirror {
         }
         let first = snap.end_doc();
         for (i, r) in rows.iter().enumerate() {
-            w.url_to_oid.insert(r.url.clone(), first + i as Oid);
+            w.url_to_oids.entry(r.url.clone()).or_default().push(first + i as Oid);
         }
         let next = snap.with_insert(rows.clone(), seq);
         w.op_log.push((seq, WriteOp::Insert(rows)));
@@ -749,7 +759,7 @@ impl LiveMirror {
         url: &str,
         durable: bool,
     ) -> RetrievalResult<Option<u64>> {
-        let Some(&oid) = w.url_to_oid.get(url) else {
+        let Some(&oid) = w.url_to_oids.get(url).and_then(|stack| stack.last()) else {
             return Ok(None);
         };
         let snap = Arc::clone(&self.state.read());
@@ -759,7 +769,7 @@ impl LiveMirror {
                 durable::live_append_op(store, seq, &WriteOp::Delete(url.to_string()))?;
             }
         }
-        w.url_to_oid.remove(url);
+        pop_url(&mut w.url_to_oids, url);
         let next = snap.with_delete(oid, seq);
         w.op_log.push((seq, WriteOp::Delete(url.to_string())));
         *self.state.write() = Arc::new(next);
@@ -846,40 +856,42 @@ impl LiveMirror {
         let mut w = self.writer.lock();
         let cur = Arc::clone(&self.state.read());
         let mut next = LiveSnapshot::fresh(Arc::clone(&new_gen), snap.seq);
-        let mut url_map: HashMap<String, Oid> = new_gen
-            .db
-            .library_rows()
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.url.clone(), i as Oid))
-            .collect();
+        let mut url_map: HashMap<String, Vec<Oid>> = HashMap::new();
+        for (i, r) in new_gen.db.library_rows().iter().enumerate() {
+            url_map.entry(r.url.clone()).or_default().push(i as Oid);
+        }
         let mut kept = Vec::new();
-        for (seq, op) in std::mem::take(&mut w.op_log) {
+        for (seq, op) in &w.op_log {
+            let seq = *seq;
             if seq <= snap.seq {
                 continue; // folded into the new generation
             }
-            match &op {
+            match op {
                 WriteOp::Insert(rows) => {
                     let first = next.end_doc();
                     for (j, r) in rows.iter().enumerate() {
-                        url_map.insert(r.url.clone(), first + j as Oid);
+                        url_map.entry(r.url.clone()).or_default().push(first + j as Oid);
                     }
                     next = next.with_insert(rows.clone(), seq);
                 }
                 WriteOp::Delete(url) => {
-                    if let Some(oid) = url_map.remove(url) {
+                    if let Some(oid) = pop_url(&mut url_map, url) {
                         next = next.with_delete(oid, seq);
                     }
                 }
             }
-            kept.push((seq, op));
+            kept.push((seq, op.clone()));
         }
         debug_assert_eq!(next.seq, cur.seq, "merge replay must land on the current sequence");
-        w.op_log = kept;
-        w.url_to_oid = url_map;
+        // the pointer flip is the last fallible step: only after it
+        // succeeds do we commit the remapped writer state and the new
+        // snapshot together — an Err return leaves writer + state
+        // untouched and still mutually consistent on the old generation
         if let Some(store) = self.store.lock().as_ref() {
             durable::live_set_pointer(store, new_no, snap.seq)?;
         }
+        w.op_log = kept;
+        w.url_to_oids = url_map;
         *self.state.write() = Arc::new(next);
         Ok(())
     }
@@ -983,14 +995,22 @@ impl LiveCluster {
 impl Retriever for LiveCluster {
     fn retrieve(&self, req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
         req.validate()?;
-        // pin every shard *before* reading the routing table, so routing
-        // covers at least every document any pin can see
-        let pins: Vec<LiveReader> = self.shards.iter().map(|s| s.pin()).collect();
+        // pin every shard and read the routing table under one critical
+        // section: writes hold this lock across their shard appends and
+        // merge_all holds it while compacting local_to_global, so the
+        // pinned snapshots and the routing rows are a consistent cut —
+        // every local oid a pin can surface has a routing entry in the
+        // same (pre- or post-merge) oid space
+        let (pins, routing) = {
+            let inner = self.inner.lock();
+            let pins: Vec<LiveReader> = self.shards.iter().map(|s| s.pin()).collect();
+            let routing = inner.local_to_global.clone();
+            (pins, routing)
+        };
         if pins.len() == 1 {
             // one shard: local ids are global ids, local stats are global
             return pins[0].retrieve(req);
         }
-        let routing = self.inner.lock().local_to_global.clone();
         let plan = pins[0].resolve(req)?;
         let (n_live, text_total, image_total) =
             pins.iter().fold((0usize, 0u64, 0u64), |(n, t, v), p| {
@@ -1058,18 +1078,25 @@ impl MutableCorpus for LiveCluster {
         let n = self.shards.len();
         let mut inner = self.inner.lock();
         let mut per_shard: Vec<Vec<LibraryRow>> = vec![Vec::new(); n];
+        let mut added: Vec<Vec<Oid>> = vec![Vec::new(); n];
+        let mut g = inner.next_global;
         for r in rows {
             let s = hash_shard(&r.url, n);
-            let g = inner.next_global;
-            inner.local_to_global[s].push(g);
-            inner.next_global += 1;
+            added[s].push(g);
+            g += 1;
             per_shard[s].push(r);
         }
-        // keep the routing lock across the shard appends so concurrent
-        // cluster writes cannot interleave shard-local arrival order
+        // global ids are assigned up front (gaps from a failed batch are
+        // harmless — ids only need to be unique and monotonic), but each
+        // shard's routing entries commit only after its append succeeds,
+        // so a failed shard insert never leaves phantom routing rows.
+        // The routing lock is held across the shard appends so concurrent
+        // cluster writes cannot interleave shard-local arrival order.
+        inner.next_global = g;
         for (s, batch) in per_shard.into_iter().enumerate() {
             if !batch.is_empty() {
                 self.shards[s].insert_rows(batch)?;
+                inner.local_to_global[s].append(&mut added[s]);
             }
         }
         inner.writes += 1;

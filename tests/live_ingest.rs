@@ -317,6 +317,91 @@ fn clusters_of_1_2_4_shards_mask_tombstones_and_match_single_node() {
     }
 }
 
+/// Duplicate-URL inserts stack: each delete tombstones the *latest* live
+/// document with the URL and re-targets the next-latest, returning `Some`
+/// until every copy is gone — the same answer before and after a merge
+/// (regression: the URL map used to track only the latest copy, so the
+/// observable contract changed across merges).
+#[test]
+fn duplicate_url_deletes_retarget_next_latest_across_merges() {
+    let f = fixture();
+    let live = seed_live(f, 8);
+    let version = |ann: &str| {
+        let mut r = f.rows[10].clone();
+        r.url = "dup://same".to_string();
+        r.annotation = Some(ann.to_string());
+        r
+    };
+    let (v1, v2, v3) = (version("first version"), version("second version"), version("third"));
+    live.insert_rows(vec![v1.clone()]).unwrap();
+    live.insert_rows(vec![v2.clone(), v3]).unwrap();
+    assert_eq!(live.n_docs(), 11);
+
+    // first delete pops the latest copy; the older two survive in order
+    assert!(live.delete("dup://same").unwrap().is_some());
+    assert_eq!(live.n_docs(), 10);
+    let dups: Vec<_> = live
+        .pin()
+        .surviving_rows()
+        .into_iter()
+        .filter(|r| r.url == "dup://same")
+        .map(|r| r.annotation)
+        .collect();
+    assert_eq!(dups, vec![v1.annotation.clone(), v2.annotation.clone()]);
+
+    // a merge must not change what the next delete targets
+    live.merge().unwrap();
+    assert!(live.delete("dup://same").unwrap().is_some(), "older duplicate still deletable");
+    assert!(live.delete("dup://same").unwrap().is_some(), "oldest duplicate still deletable");
+    assert_eq!(live.delete("dup://same").unwrap(), None, "every copy is tombstoned");
+    assert_eq!(live.n_docs(), 8);
+    assert_eq!(probe(&live, f), probe(&reference(f, live.pin().surviving_rows()), f));
+}
+
+/// Queries racing `merge_all` must never observe a torn pin/routing pair:
+/// the shard snapshots and the local→global table are read under one
+/// critical section, so a merge compacting the routing rows mid-query
+/// cannot strand pre-merge oids against the compacted table (regression:
+/// pinning outside the routing lock panicked or mis-attributed URLs
+/// whenever tombstones had been compacted away).
+#[test]
+fn cluster_retrieve_races_merge_all_without_desync() {
+    let f = fixture();
+    let cluster =
+        LiveCluster::new(2, f.config.clone(), Some(f.vocab.clone()), Some(f.thes.clone())).unwrap();
+    cluster.insert_rows(f.rows[..24].to_vec()).unwrap();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let reqs = probe_requests(f);
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        for q in &reqs {
+                            for h in cluster.retrieve(q).unwrap() {
+                                assert!(h.score.is_finite(), "torn routing produced {h:?}");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // every round tombstones a doc then merges, so merge_all compacts
+        // the routing table while the readers are mid-flight
+        for round in 0..12 {
+            let mut row = f.rows[24 + round].clone();
+            row.url = format!("{}#round{round}", row.url);
+            cluster.insert_rows(vec![row]).unwrap();
+            cluster.delete(&f.rows[round].url).unwrap().expect("victim is live");
+            cluster.merge_all().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader raced a merge and died");
+        }
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Satellite 3 — epoch reclamation, counter-instrumented
 // ---------------------------------------------------------------------------
