@@ -30,6 +30,7 @@ fn main() {
     e12();
     e13();
     e14();
+    e15();
     println!("\nreport complete.");
 }
 
@@ -648,5 +649,80 @@ fn e14() {
         "\ndeterministic interleave (seeded corpus, no sleeps); write load = writes issued per \
          query, 2:1 insert:tombstone mix. acceptance: merged p50 matches the 0% row and the \
          delta-path p99 stays within one order of magnitude of it\n"
+    );
+}
+
+/// E15: the statistics-driven pass framework under open-loop serving load.
+///
+/// The workload harness offers the same seeded mixed-traffic stream
+/// (dual-heavy — multi-channel plans are where memoization and the stats
+/// passes pay; URL filters included) to two 2-worker servers over the
+/// same 2k-document corpus — one with the full pass pipeline, one with
+/// `OptConfig::none()` — at three arrival rates, the last far beyond
+/// capacity. Percentiles come from the server's fixed-bucket histogram,
+/// so every request of the run is counted; `shed` is the admission
+/// queue's typed `Overloaded` rejections.
+fn e15() {
+    use mirror_core::serve::MirrorServer;
+    use mirror_core::workload::{TrafficMix, WorkloadConfig, WorkloadGen};
+
+    println!("## E15 — optimizer pass pipeline under open-loop load (2k docs, 2 workers)\n");
+    let db = live_ingest_db(2_000, 42);
+    let rows = db.library_rows().to_vec();
+    let terms: Vec<String> =
+        ["sunset", "ocean", "forest", "city", "snow", "wave", "desert", "glow"]
+            .map(String::from)
+            .to_vec();
+    let mix = TrafficMix { text: 0.3, dual: 0.4, filtered: 0.2, feedback: 0.1 };
+
+    println!(
+        "| rate (req/s) | optimizer | completed | shed | p50 (ms) | p99 (ms) | SLO headroom |"
+    );
+    println!(
+        "|-------------:|-----------|----------:|-----:|---------:|---------:|-------------:|"
+    );
+    for &qps in &[200.0f64, 2_000.0, 20_000.0] {
+        for (label, opt) in [("on", None), ("off", Some(OptConfig::none()))] {
+            let mut node = MirrorDbms::from_rows(
+                db.config().clone(),
+                rows.clone(),
+                db.vocabulary().cloned(),
+                db.thesaurus().cloned(),
+            )
+            .expect("node loads");
+            if let Some(cfg) = opt {
+                node.set_opt(cfg);
+            }
+            let node = Arc::new(node);
+            // warm the node (lazy index state, page cache) on a throwaway
+            // server so the measured histogram isn't charged for cold start
+            let warmup = MirrorServer::start_with_queue(node.clone(), 2, 64);
+            let warm =
+                WorkloadConfig { seed: 7, qps: 400.0, requests: 64, mix, ..Default::default() };
+            WorkloadGen::new(warm, terms.clone()).run(&warmup);
+            warmup.shutdown();
+            let server = MirrorServer::start_with_queue(node, 2, 64);
+            let cfg = WorkloadConfig { seed: 11, qps, requests: 400, mix, ..Default::default() };
+            let mut gen = WorkloadGen::new(cfg, terms.clone())
+                .with_filters(vec!["/sunset/".into(), "/ocean/".into()]);
+            let r = gen.run(&server);
+            assert_eq!(r.errors, 0, "serving errors at {qps} req/s");
+            println!(
+                "| {qps:.0} | {label} | {} | {} | {:.3} | {:.3} | {:+.0}% |",
+                r.completed,
+                r.rejected,
+                r.p50_ms,
+                r.p99_ms,
+                r.slo_headroom * 100.0
+            );
+        }
+    }
+    println!(
+        "\nsame seeded request stream per row (seed 11); identical results either way — the \
+         bit-identity property tests hold every pass to that. acceptance: at sustainable rates \
+         both configurations complete every request inside the SLO with positive headroom — the \
+         optimizer's per-query pass and annotation overhead must not cost SLO compliance (its \
+         plan-quality wins are isolated in the e15 bench ablation) — and at the overloaded rate \
+         both degrade by shedding typed Overloaded rejections, never by erroring\n"
     );
 }

@@ -1,7 +1,7 @@
 //! # mirror-bench — workloads and measurement helpers
 //!
 //! The demo paper contains no numeric tables, so EXPERIMENTS.md defines
-//! the quantitative claims to validate (E1–E11); this crate provides the
+//! the quantitative claims to validate (E1–E15); this crate provides the
 //! shared workload generators used by both the criterion benches
 //! (`benches/e*.rs`) and the `report` binary that regenerates the
 //! EXPERIMENTS.md tables.

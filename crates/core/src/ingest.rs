@@ -206,6 +206,25 @@ impl MirrorDbms {
             })
             .collect();
         self.env().create_collection(name, ty, moa_rows)?;
+        // Feed per-term document frequencies from both content
+        // representations into the logical layer's statistics catalog
+        // (column summaries are collected by `create_collection` itself);
+        // the optimizer's belief-operator cardinality estimates need them.
+        type IndexStats = (String, u64, Vec<(String, u32)>);
+        let mut index_stats: Vec<IndexStats> = Vec::new();
+        for field in ["annotation", "image"] {
+            let prefix = format!("{INTERNAL}__{field}");
+            if let Some(index) = self.store().get(&prefix) {
+                let dfs: Vec<(String, u32)> =
+                    index.term_dfs().map(|(t, d)| (t.to_string(), d)).collect();
+                index_stats.push((prefix, index.n_docs() as u64, dfs));
+            }
+        }
+        self.env().update_stats(move |stats| {
+            for (prefix, n_docs, dfs) in index_stats {
+                stats.set_index(prefix, n_docs, dfs);
+            }
+        });
         self.docs = rows
             .iter()
             .map(|r| DocMeta {

@@ -117,15 +117,7 @@ impl Generation {
         let image_total = channel_total(&img);
         let heap_bytes = ann.as_ref().map_or(0, |i| i.postings_heap_bytes() as u64)
             + img.as_ref().map_or(0, |i| i.postings_heap_bytes() as u64)
-            + db.library_rows()
-                .iter()
-                .map(|r| {
-                    (r.url.len()
-                        + r.annotation.as_ref().map_or(0, String::len)
-                        + r.vterms.len()
-                        + 16) as u64
-                })
-                .sum::<u64>();
+            + db.library_rows().iter().map(row_bytes).sum::<u64>();
         counters.created.fetch_add(1, Ordering::Relaxed);
         counters.alive_bytes.fetch_add(heap_bytes, Ordering::Relaxed);
         Generation { db, number, ann, img, text_total, image_total, heap_bytes, counters }
@@ -146,6 +138,13 @@ struct DeltaBatch {
     rows: Vec<LibraryRow>,
     text: DeltaSeg,
     image: DeltaSeg,
+}
+
+/// Approximate heap bytes of one library row — the same estimate
+/// generation accounting uses, so policy thresholds and
+/// [`GenerationStats::alive_bytes`] speak the same unit.
+fn row_bytes(r: &LibraryRow) -> u64 {
+    (r.url.len() + r.annotation.as_ref().map_or(0, String::len) + r.vterms.len() + 16) as u64
 }
 
 /// Tokens of a row's annotation channel — the exact pipeline
@@ -619,6 +618,33 @@ fn pop_url(map: &mut HashMap<String, Vec<Oid>>, url: &str) -> Option<Oid> {
     oid
 }
 
+/// Thresholds that trigger an automatic LSM merge — the knobs a serving
+/// deployment turns to trade write amplification (frequent merges) for
+/// query overhead (a deep uncompressed delta scanned on every request).
+/// A merge fires as soon as *any* threshold is met.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergePolicy {
+    /// Merge once the delta holds at least this many inserted rows.
+    pub max_delta_rows: usize,
+    /// Merge once the delta's rows span at least this many (estimated)
+    /// heap bytes — the same per-row estimate
+    /// [`GenerationStats::alive_bytes`] accounts with.
+    pub max_delta_bytes: u64,
+    /// Merge once at least this many documents are tombstoned (deletes
+    /// are pure query-time overhead until a merge compacts them away).
+    pub max_tombstones: usize,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy {
+            max_delta_rows: 10_000,
+            max_delta_bytes: 8 * 1024 * 1024,
+            max_tombstones: 1_000,
+        }
+    }
+}
+
 /// A mutable corpus with epoch-based MVCC snapshots over an immutable
 /// [`MirrorDbms`] generation. See the [module docs](self) for the design.
 pub struct LiveMirror {
@@ -894,6 +920,43 @@ impl LiveMirror {
         w.url_to_oids = url_map;
         *self.state.write() = Arc::new(next);
         Ok(())
+    }
+}
+
+impl LiveMirror {
+    /// Current delta pressure: `(inserted_rows, estimated_bytes,
+    /// tombstones)` of the live snapshot — what [`maybe_merge`]
+    /// judges a [`MergePolicy`] against.
+    ///
+    /// [`maybe_merge`]: LiveMirror::maybe_merge
+    pub fn delta_pressure(&self) -> (usize, u64, usize) {
+        let snap = Arc::clone(&self.state.read());
+        let rows: usize = snap.batches.iter().map(|b| b.rows.len()).sum();
+        let bytes: u64 = snap.batches.iter().flat_map(|b| b.rows.iter()).map(row_bytes).sum();
+        (rows, bytes, snap.tombstones.len())
+    }
+
+    /// Merge if (and only if) the delta has outgrown `policy` — the
+    /// auto-trigger a serving loop calls after its writes instead of
+    /// scheduling merges by hand. Returns whether a merge ran. Rankings
+    /// are unaffected either way: a merged generation is bit-identical
+    /// to the delta-evaluated snapshot it folded (the [`merge`]
+    /// contract).
+    ///
+    /// [`merge`]: LiveMirror::merge
+    pub fn maybe_merge(&self, policy: &MergePolicy) -> RetrievalResult<bool> {
+        let (rows, bytes, tombstones) = self.delta_pressure();
+        if rows == 0 && tombstones == 0 {
+            return Ok(false); // nothing to fold
+        }
+        if rows >= policy.max_delta_rows
+            || bytes >= policy.max_delta_bytes
+            || tombstones >= policy.max_tombstones
+        {
+            self.merge()?;
+            return Ok(true);
+        }
+        Ok(false)
     }
 }
 

@@ -51,6 +51,14 @@ pub enum RetrievalError {
         /// What was found (and what was missing).
         detail: String,
     },
+    /// The serving tier shed this request at admission: the server's
+    /// bounded queue was full, so the request was rejected immediately
+    /// instead of being buffered into unbounded latency. The client
+    /// should back off and resubmit; the request itself is fine.
+    Overloaded {
+        /// Queue depth at the moment of rejection (the configured bound).
+        queue_depth: usize,
+    },
 }
 
 impl std::fmt::Display for RetrievalError {
@@ -64,6 +72,9 @@ impl std::fmt::Display for RetrievalError {
             RetrievalError::Storage(e) => write!(f, "storage failure: {e}"),
             RetrievalError::IncompleteState { detail } => {
                 write!(f, "durable store is incomplete: {detail}")
+            }
+            RetrievalError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded: admission queue full at depth {queue_depth}")
             }
         }
     }
@@ -213,6 +224,15 @@ mod tests {
         assert!(down.is_retryable());
         assert!(down.to_string().contains("shard 2"));
         assert!(!RetrievalError::BadFilter("empty".into()).is_retryable());
+    }
+
+    #[test]
+    fn overloaded_is_typed_and_not_router_retryable() {
+        // load shedding is a backpressure signal for the *client* (back
+        // off and resubmit), not the replica router's failover predicate
+        let err = RetrievalError::Overloaded { queue_depth: 64 };
+        assert!(!err.is_retryable());
+        assert!(err.to_string().contains("depth 64"));
     }
 
     #[test]

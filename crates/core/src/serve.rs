@@ -25,16 +25,19 @@
 //!   [`RetrievalError::ShardUnavailable`];
 //! * [`MirrorServer`] — a worker pool over any `Arc<R: Retriever>` (a
 //!   single node or a whole [`MirrorCluster`](crate::shard::MirrorCluster))
-//!   with throughput and latency counters, including p50/p99 percentiles
-//!   so replica spreading is observable.
+//!   behind a *bounded* admission queue: a request arriving while the
+//!   queue is full is shed immediately with a typed
+//!   [`RetrievalError::Overloaded`] instead of buffering into unbounded
+//!   queueing latency. Throughput and latency counters use a fixed-bucket
+//!   histogram, so p50/p99 are exact over the whole run and deterministic
+//!   — the measurement surface `core::workload` drives.
 
 use crate::query::{weighted_terms, RankedResult};
 use crate::retriever::{RetrievalError, RetrievalResult, Retriever};
 use crate::{MirrorDbms, INTERNAL};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use moa::expr::Lit;
 use moa::{Expr, MoaError, QueryParams};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -266,22 +269,94 @@ impl MirrorDbms {
     }
 }
 
-/// At most this many latency samples are kept for percentile estimation;
-/// beyond it the ring wraps and the oldest samples are overwritten.
-const LATENCY_SAMPLE_CAP: usize = 8192;
+/// Histogram geometry: each power-of-two octave of the nanosecond range
+/// is split into this many sub-buckets, giving ≈6% relative resolution.
+const HIST_SUB_BITS: usize = 4;
+const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+const HIST_BUCKETS: usize = (64 - HIST_SUB_BITS + 1) * HIST_SUB;
 
-/// Cumulative serving counters (shared with every worker). Sums and
-/// extrema are lock-free; the percentile ring takes a short lock per
-/// request.
+/// A lock-free fixed-bucket latency histogram covering the whole `u64`
+/// nanosecond range. Every request of the run is counted — unlike the
+/// bounded sample ring this replaced, which silently forgot the earliest
+/// requests once it wrapped — so p50/p99 are exact (to one sub-bucket,
+/// ≈6%) over the entire run and deterministic for a given workload.
+struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LatencyHistogram {{ count: {} }}", self.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket index of a nanosecond value: exact below [`HIST_SUB`], then the
+/// top [`HIST_SUB_BITS`] bits below the leading one select the sub-bucket
+/// within the value's octave. Monotone, so percentile walks stay ordered.
+fn hist_bucket(ns: u64) -> usize {
+    if ns < HIST_SUB as u64 {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros() as usize;
+    let sub = ((ns >> (msb - HIST_SUB_BITS)) as usize) & (HIST_SUB - 1);
+    (msb - HIST_SUB_BITS + 1) * HIST_SUB + sub
+}
+
+/// Upper edge of a bucket — reported percentiles are conservative: the
+/// true rank value lies within one sub-bucket below the reported one.
+fn hist_value(idx: usize) -> u64 {
+    if idx < HIST_SUB {
+        return idx as u64;
+    }
+    let msb = idx / HIST_SUB + HIST_SUB_BITS - 1;
+    let width = 1u64 << (msb - HIST_SUB_BITS);
+    (1u64 << msb) + (idx % HIST_SUB) as u64 * width + (width - 1)
+}
+
+impl LatencyHistogram {
+    fn record(&self, ns: u64) {
+        self.buckets[hist_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Latency at percentile `p ∈ [0, 1]` over *all* recorded requests.
+    fn percentile(&self, p: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total - 1) as f64 * p).round() as u64;
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum > target {
+                return hist_value(i);
+            }
+        }
+        hist_value(HIST_BUCKETS - 1)
+    }
+}
+
+/// Cumulative serving counters (shared with every worker); every field is
+/// lock-free, so recording never serializes the worker pool.
 #[derive(Debug, Default)]
 struct ServeCounters {
     served: AtomicU64,
     errors: AtomicU64,
+    rejected: AtomicU64,
     latency_ns: AtomicU64,
     max_latency_ns: AtomicU64,
-    /// Ring buffer of recent per-request latencies for p50/p99.
-    samples_ns: Mutex<Vec<u64>>,
-    sample_cursor: AtomicUsize,
+    hist: LatencyHistogram,
 }
 
 impl ServeCounters {
@@ -292,24 +367,12 @@ impl ServeCounters {
         if is_err {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let slot = self.sample_cursor.fetch_add(1, Ordering::Relaxed) % LATENCY_SAMPLE_CAP;
-        let mut samples = self.samples_ns.lock();
-        if slot < samples.len() {
-            samples[slot] = ns;
-        } else {
-            samples.push(ns);
-        }
+        self.hist.record(ns);
     }
 
-    /// `(p50, p99)` latency over the retained samples, in nanoseconds.
+    /// `(p50, p99)` latency over every request of the run, in nanoseconds.
     fn percentiles_ns(&self) -> (u64, u64) {
-        let mut samples = self.samples_ns.lock().clone();
-        if samples.is_empty() {
-            return (0, 0);
-        }
-        samples.sort_unstable();
-        let rank = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
-        (rank(0.50), rank(0.99))
+        (self.hist.percentile(0.50), self.hist.percentile(0.99))
     }
 }
 
@@ -320,12 +383,20 @@ pub struct ServerStats {
     pub served: u64,
     /// Requests that returned an error.
     pub errors: u64,
+    /// Requests shed at admission because the queue was full — each one
+    /// resolved to [`RetrievalError::Overloaded`] without touching a
+    /// worker, so they are not in `served` or the latency figures.
+    pub rejected: u64,
+    /// The admission queue's configured bound.
+    pub queue_depth: usize,
     /// Mean request latency in milliseconds.
     pub mean_latency_ms: f64,
-    /// Median request latency in milliseconds (over recent requests).
+    /// Median request latency in milliseconds, exact (to the histogram's
+    /// ≈6% bucket resolution) over every request of the run.
     pub p50_latency_ms: f64,
-    /// 99th-percentile request latency in milliseconds (over recent
-    /// requests) — the tail the replica router exists to flatten.
+    /// 99th-percentile request latency in milliseconds over every request
+    /// of the run — the tail the replica router exists to flatten.
+    /// Includes queue wait, so an overdriven server shows it here.
     pub p99_latency_ms: f64,
     /// Worst request latency in milliseconds.
     pub max_latency_ms: f64,
@@ -351,8 +422,16 @@ impl PendingRetrieval {
 
 struct ServerJob {
     req: RetrievalRequest,
+    /// When the request was admitted — latency is measured from here, so
+    /// queue wait counts toward the percentiles the SLO is set against.
+    enqueued: Instant,
     reply: Sender<RetrievalResult<Vec<RankedResult>>>,
 }
+
+/// Queue bound used by [`MirrorServer::start`]: deep enough that a healthy
+/// pool never rejects, shallow enough that a stalled pool rejects instead
+/// of buffering requests into unbounded queueing latency.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
 
 /// A concurrent retrieval server: a fixed worker pool draining a request
 /// queue against one shared, immutable [`Retriever`] backend — a
@@ -372,19 +451,32 @@ pub struct MirrorServer<R: Retriever + 'static = MirrorDbms> {
     tx: Option<Sender<ServerJob>>,
     workers: Vec<JoinHandle<()>>,
     counters: Arc<ServeCounters>,
+    queue_depth: usize,
     started: Instant,
 }
 
 impl<R: Retriever + 'static> MirrorServer<R> {
     /// Start a server with `workers` threads (0 = one per available core)
-    /// over a shared backend.
+    /// over a shared backend, with the default admission-queue depth
+    /// ([`DEFAULT_QUEUE_DEPTH`]).
     pub fn start(db: Arc<R>, workers: usize) -> Self {
+        Self::start_with_queue(db, workers, DEFAULT_QUEUE_DEPTH)
+    }
+
+    /// Start a server with an explicit admission-queue bound: at most
+    /// `queue_depth` requests wait behind the worker pool; a request that
+    /// arrives while the queue is full is rejected immediately with
+    /// [`RetrievalError::Overloaded`] instead of being buffered (the
+    /// open-loop workload harness relies on this to shed load at a fixed
+    /// arrival rate rather than melting down).
+    pub fn start_with_queue(db: Arc<R>, workers: usize, queue_depth: usize) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             workers
         };
-        let (tx, rx) = unbounded::<ServerJob>();
+        let queue_depth = queue_depth.max(1);
+        let (tx, rx) = bounded::<ServerJob>(queue_depth);
         let counters = Arc::new(ServeCounters::default());
         let handles = (0..workers)
             .map(|_| {
@@ -393,16 +485,22 @@ impl<R: Retriever + 'static> MirrorServer<R> {
                 let counters = Arc::clone(&counters);
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        let t0 = Instant::now();
                         let result = db.retrieve(&job.req);
-                        let ns = t0.elapsed().as_nanos() as u64;
+                        let ns = job.enqueued.elapsed().as_nanos() as u64;
                         counters.record(ns, result.is_err());
                         let _ = job.reply.send(result);
                     }
                 })
             })
             .collect();
-        MirrorServer { db, tx: Some(tx), workers: handles, counters, started: Instant::now() }
+        MirrorServer {
+            db,
+            tx: Some(tx),
+            workers: handles,
+            counters,
+            queue_depth,
+            started: Instant::now(),
+        }
     }
 
     /// The shared backend this server ranks against.
@@ -410,12 +508,24 @@ impl<R: Retriever + 'static> MirrorServer<R> {
         &self.db
     }
 
-    /// Enqueue a request; returns a handle to wait on.
+    /// Enqueue a request; returns a handle to wait on. Admission control
+    /// happens here: when the bounded queue is full the request is shed —
+    /// the handle resolves immediately to [`RetrievalError::Overloaded`]
+    /// and the submitting thread never blocks.
     pub fn submit(&self, req: RetrievalRequest) -> PendingRetrieval {
         let (reply, rx) = bounded(1);
         let tx = self.tx.as_ref().expect("server is running until dropped");
-        if tx.send(ServerJob { req, reply }).is_err() {
-            // every worker is gone; `wait` will surface the shutdown error
+        match tx.try_send(ServerJob { req, enqueued: Instant::now(), reply }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = job
+                    .reply
+                    .send(Err(RetrievalError::Overloaded { queue_depth: self.queue_depth }));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // every worker is gone; `wait` will surface the shutdown error
+            }
         }
         PendingRetrieval { rx }
     }
@@ -434,6 +544,8 @@ impl<R: Retriever + 'static> MirrorServer<R> {
         ServerStats {
             served,
             errors: self.counters.errors.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth,
             mean_latency_ms: if served == 0 {
                 0.0
             } else {
@@ -706,6 +818,87 @@ mod tests {
         assert_eq!(stats.workers, 3);
         assert!(stats.mean_latency_ms > 0.0);
         assert!(stats.max_latency_ms >= stats.mean_latency_ms);
+        server.shutdown();
+    }
+
+    #[test]
+    fn histogram_counts_every_sample_and_is_deterministic() {
+        let h = LatencyHistogram::default();
+        // 3× more samples than the old ring could hold: the early ones
+        // must still weigh into the percentiles
+        let n = 3 * 8192u64;
+        for v in 1..=n {
+            h.record(v);
+        }
+        let (p50, p99) = (h.percentile(0.50), h.percentile(0.99));
+        let true_p50 = (n as f64 * 0.50) as u64;
+        let true_p99 = (n as f64 * 0.99) as u64;
+        // bucket resolution: reported value within one sub-bucket (≈6%)
+        for (got, want) in [(p50, true_p50), (p99, true_p99)] {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.07, "got {got}, want ≈{want} (err {err:.3})");
+        }
+        assert!(p99 > p50);
+        // same histogram, same question, same answer — no sampling noise
+        assert_eq!(h.percentile(0.50), p50);
+        assert_eq!(h.percentile(0.99), p99);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_conservative() {
+        for ns in [0u64, 1, 15, 16, 17, 31, 32, 1000, 123_456, u64::MAX / 2, u64::MAX] {
+            let b = hist_bucket(ns);
+            assert!(b < HIST_BUCKETS);
+            assert!(hist_value(b) >= ns, "bucket upper edge below its member {ns}");
+            if ns > 0 {
+                assert!(hist_bucket(ns - 1) <= b, "bucket order inverted at {ns}");
+            }
+        }
+    }
+
+    /// A backend that parks inside `retrieve` until released — makes queue
+    /// occupancy deterministic for the admission-control test.
+    struct GatedRetriever {
+        entered: Sender<()>,
+        release: Receiver<()>,
+    }
+
+    impl Retriever for GatedRetriever {
+        fn retrieve(&self, _req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
+            let _ = self.entered.send(());
+            let _ = self.release.recv();
+            Ok(Vec::new())
+        }
+
+        fn n_docs(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_typed_overloaded() {
+        let (entered_tx, entered_rx) = crossbeam::channel::unbounded();
+        let (release_tx, release_rx) = crossbeam::channel::unbounded();
+        let backend = Arc::new(GatedRetriever { entered: entered_tx, release: release_rx });
+        let server = MirrorServer::start_with_queue(backend, 1, 1);
+        let a = server.submit(RetrievalRequest::text("q", 1));
+        // wait until the lone worker is parked inside the backend, so the
+        // queue is verifiably empty…
+        entered_rx.recv().unwrap();
+        let b = server.submit(RetrievalRequest::text("q", 1)); // …now fills it
+        let c = server.submit(RetrievalRequest::text("q", 1)); // …and this is shed
+        match c.wait() {
+            Err(RetrievalError::Overloaded { queue_depth }) => assert_eq!(queue_depth, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.served, 2, "shed requests never reach a worker");
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queue_depth, 1);
         server.shutdown();
     }
 

@@ -1,0 +1,430 @@
+//! Open-loop serving harness: drive a [`MirrorServer`] at a fixed
+//! arrival rate and measure what the paper promises to survive.
+//!
+//! The paper closes on "heavy traffic from millions of users"; the honest
+//! way to measure that claim is an *open-loop* workload — requests arrive
+//! on a Poisson clock at a configured QPS whether or not earlier requests
+//! have finished, exactly as independent users behave. (A closed loop,
+//! where each client waits for its response before sending the next,
+//! self-throttles under overload and hides the latency cliff this harness
+//! exists to find.) The generator is seeded with the vendored `rand`
+//! `StdRng`, so the *request stream* — traffic classes, terms, filters,
+//! write placement — is bit-reproducible across runs; only the wall-clock
+//! timings vary.
+//!
+//! Overload is part of the contract, not a failure: the server's bounded
+//! admission queue sheds excess arrivals with a typed
+//! [`RetrievalError::Overloaded`], which the harness counts separately
+//! from server-side errors. The [`WorkloadReport`] folds the server's
+//! whole-run latency histogram into p50/p99 and an SLO headroom figure:
+//! `(slo − p99) / slo`, negative when the tail has blown the budget.
+
+use crate::retriever::{RetrievalError, Retriever};
+use crate::serve::{MirrorServer, PendingRetrieval, RetrievalRequest};
+use crate::LibraryRow;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Relative weights of the four query classes a generated stream mixes.
+/// Weights need not sum to 1; they are normalised at draw time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficMix {
+    /// Plain free-text retrieval (annotation channel).
+    pub text: f64,
+    /// Dual-coded retrieval (thesaurus-expanded visual channel mixed in).
+    pub dual: f64,
+    /// Combined data/content retrieval (text query + URL filter).
+    pub filtered: f64,
+    /// Relevance-feedback shape: explicit weighted terms on both channels.
+    pub feedback: f64,
+}
+
+impl Default for TrafficMix {
+    fn default() -> Self {
+        TrafficMix { text: 0.5, dual: 0.2, filtered: 0.2, feedback: 0.1 }
+    }
+}
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Seed for the arrival clock and every request draw.
+    pub seed: u64,
+    /// Target arrival rate, requests per second (Poisson arrivals:
+    /// exponential inter-arrival gaps with mean `1/qps`).
+    pub qps: f64,
+    /// Total requests to offer.
+    pub requests: usize,
+    /// Top-k budget on every generated request.
+    pub k: usize,
+    /// Query-class weights.
+    pub mix: TrafficMix,
+    /// Visual-channel weight for dual/feedback requests.
+    pub dual_mix: f64,
+    /// Latency SLO the report judges p99 against, in milliseconds.
+    pub slo_ms: f64,
+    /// Interleave one write batch every this many queries (`0` = no
+    /// writes). Only [`WorkloadGen::run_with_writes`] acts on it.
+    pub write_every: usize,
+    /// Rows per interleaved write batch.
+    pub write_batch: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 7,
+            qps: 200.0,
+            requests: 200,
+            k: 10,
+            mix: TrafficMix::default(),
+            dual_mix: 0.5,
+            slo_ms: 50.0,
+            write_every: 0,
+            write_batch: 4,
+        }
+    }
+}
+
+/// What one open-loop run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Requests offered (submitted or shed at admission).
+    pub offered: u64,
+    /// Requests that completed with results.
+    pub completed: u64,
+    /// Requests shed at admission ([`RetrievalError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests that failed server-side for any other reason.
+    pub errors: u64,
+    /// Write batches applied (only under
+    /// [`WorkloadGen::run_with_writes`]).
+    pub writes: u64,
+    /// Arrival rate actually achieved over the submit window, per second.
+    pub achieved_qps: f64,
+    /// Mean served latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median served latency (whole-run histogram), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile served latency (whole-run histogram), milliseconds.
+    pub p99_ms: f64,
+    /// Worst served latency, milliseconds.
+    pub max_ms: f64,
+    /// The SLO the run was judged against, milliseconds.
+    pub slo_ms: f64,
+    /// `(slo − p99) / slo`: fraction of the latency budget left at the
+    /// tail. Negative when p99 has blown through the SLO.
+    pub slo_headroom: f64,
+}
+
+impl WorkloadReport {
+    /// One-line human summary (examples and the soak gate print this).
+    pub fn summary(&self) -> String {
+        format!(
+            "offered {} @ {:.0} qps: {} ok / {} shed / {} err; \
+             p50 {:.2} ms, p99 {:.2} ms (SLO {:.0} ms, headroom {:+.0}%)",
+            self.offered,
+            self.achieved_qps,
+            self.completed,
+            self.rejected,
+            self.errors,
+            self.p50_ms,
+            self.p99_ms,
+            self.slo_ms,
+            self.slo_headroom * 100.0
+        )
+    }
+}
+
+/// The seeded request generator and open-loop driver.
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    terms: Vec<String>,
+    filters: Vec<String>,
+    visual_terms: Vec<String>,
+}
+
+impl WorkloadGen {
+    /// Build a generator drawing query terms from `terms` (typically the
+    /// most frequent annotation terms of the ingested corpus).
+    pub fn new(cfg: WorkloadConfig, terms: Vec<String>) -> Self {
+        assert!(!terms.is_empty(), "the workload needs at least one query term");
+        assert!(cfg.qps > 0.0, "arrival rate must be positive");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        WorkloadGen { cfg, rng, terms, filters: Vec::new(), visual_terms: Vec::new() }
+    }
+
+    /// URL substrings for the filtered-query class (empty pool downgrades
+    /// filtered draws to plain text queries).
+    pub fn with_filters(mut self, filters: Vec<String>) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    /// Visual-term pool for the feedback-query class (empty pool makes
+    /// feedback draws rank text-only, which is the documented fallback).
+    pub fn with_visual_terms(mut self, visual_terms: Vec<String>) -> Self {
+        self.visual_terms = visual_terms;
+        self
+    }
+
+    /// The configuration this generator runs with.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Exponential inter-arrival gap for a Poisson process at `cfg.qps`.
+    fn inter_arrival(&mut self) -> Duration {
+        let u: f64 = self.rng.gen();
+        Duration::from_secs_f64(-(1.0_f64 - u).ln() / self.cfg.qps)
+    }
+
+    fn pick_terms(&mut self, pool: Pool, n: usize) -> Vec<(String, f64)> {
+        let pool = match pool {
+            Pool::Text => &self.terms,
+            Pool::Visual => &self.visual_terms,
+        };
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| (pool[self.rng.gen_range(0..pool.len())].clone(), 1.0)).collect()
+    }
+
+    /// Draw the next request of the stream — deterministic per seed.
+    pub fn next_request(&mut self) -> RetrievalRequest {
+        let m = self.cfg.mix;
+        let total = m.text + m.dual + m.filtered + m.feedback;
+        let draw: f64 = self.rng.gen::<f64>() * total;
+        let k = self.cfg.k;
+        let n_terms = self.rng.gen_range(1..=3usize);
+        if draw < m.text || total <= 0.0 {
+            let terms = self.pick_terms(Pool::Text, n_terms);
+            RetrievalRequest::text_terms(terms, k)
+        } else if draw < m.text + m.dual {
+            let text: Vec<String> =
+                self.pick_terms(Pool::Text, n_terms).into_iter().map(|(t, _)| t).collect();
+            RetrievalRequest::dual(&text.join(" "), self.cfg.dual_mix, k)
+        } else if draw < m.text + m.dual + m.filtered {
+            let req = RetrievalRequest::text_terms(self.pick_terms(Pool::Text, n_terms), k);
+            if self.filters.is_empty() {
+                req
+            } else {
+                let f = self.filters[self.rng.gen_range(0..self.filters.len())].clone();
+                req.with_filter(f)
+            }
+        } else {
+            let text = self.pick_terms(Pool::Text, n_terms);
+            let visual = self.pick_terms(Pool::Visual, 2.min(self.visual_terms.len()));
+            RetrievalRequest::dual_terms(text, visual, self.cfg.dual_mix, k)
+        }
+    }
+
+    /// Drive `server` open-loop with query traffic only.
+    pub fn run<R: Retriever + 'static>(&mut self, server: &MirrorServer<R>) -> WorkloadReport {
+        self.drive(server, |_, _| 0)
+    }
+
+    /// Drive `server` open-loop with queries plus interleaved live
+    /// writes: every `cfg.write_every` queries, `cfg.write_batch` rows
+    /// are taken round-robin from `rows` and appended through the
+    /// server's mutable backend on the submitting thread (MVCC isolation
+    /// means queries keep streaming while the write installs).
+    pub fn run_with_writes<R: crate::live::MutableCorpus + 'static>(
+        &mut self,
+        server: &MirrorServer<R>,
+        rows: &[LibraryRow],
+    ) -> WorkloadReport {
+        let every = self.cfg.write_every;
+        let batch = self.cfg.write_batch.max(1);
+        let mut cursor = 0usize;
+        self.drive(server, |srv, i| {
+            if every == 0 || rows.is_empty() || i == 0 || i % every != 0 {
+                return 0;
+            }
+            let take: Vec<LibraryRow> =
+                (0..batch).map(|j| rows[(cursor + j) % rows.len()].clone()).collect();
+            cursor += batch;
+            if srv.insert_rows(take).is_ok() {
+                1
+            } else {
+                0
+            }
+        })
+    }
+
+    /// The open loop itself: sleep to the next Poisson arrival, submit
+    /// without waiting (admission control decides fate), drain at the
+    /// end. `side` runs on the submitting thread after each arrival and
+    /// returns how many write batches it applied.
+    fn drive<R: Retriever + 'static>(
+        &mut self,
+        server: &MirrorServer<R>,
+        mut side: impl FnMut(&MirrorServer<R>, usize) -> u64,
+    ) -> WorkloadReport {
+        let start = Instant::now();
+        let mut next_at = Duration::ZERO;
+        let mut pending: Vec<PendingRetrieval> = Vec::with_capacity(self.cfg.requests);
+        let mut writes = 0u64;
+        for i in 0..self.cfg.requests {
+            next_at += self.inter_arrival();
+            let req = self.next_request();
+            let now = start.elapsed();
+            if next_at > now {
+                std::thread::sleep(next_at - now);
+            }
+            pending.push(server.submit(req));
+            writes += side(server, i);
+        }
+        let submit_window = start.elapsed().as_secs_f64();
+        let (mut completed, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+        for p in pending {
+            match p.wait() {
+                Ok(_) => completed += 1,
+                Err(RetrievalError::Overloaded { .. }) => rejected += 1,
+                Err(_) => errors += 1,
+            }
+        }
+        let stats = server.stats();
+        let slo = self.cfg.slo_ms;
+        WorkloadReport {
+            offered: self.cfg.requests as u64,
+            completed,
+            rejected,
+            errors,
+            writes,
+            achieved_qps: if submit_window > 0.0 {
+                self.cfg.requests as f64 / submit_window
+            } else {
+                0.0
+            },
+            mean_ms: stats.mean_latency_ms,
+            p50_ms: stats.p50_latency_ms,
+            p99_ms: stats.p99_latency_ms,
+            max_ms: stats.max_latency_ms,
+            slo_ms: slo,
+            slo_headroom: (slo - stats.p99_latency_ms) / slo,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Pool {
+    Text,
+    Visual,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RankedResult;
+    use crate::retriever::RetrievalResult;
+    use std::sync::Arc;
+
+    /// Instant, infallible backend: isolates harness accounting from
+    /// retrieval behaviour.
+    struct NullRetriever;
+
+    impl Retriever for NullRetriever {
+        fn retrieve(&self, _req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
+            Ok(Vec::new())
+        }
+
+        fn n_docs(&self) -> usize {
+            0
+        }
+    }
+
+    fn pools() -> Vec<String> {
+        ["sunset", "beach", "glow", "forest"].map(String::from).to_vec()
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_per_seed() {
+        let cfg = WorkloadConfig { requests: 64, ..Default::default() };
+        let mk = || {
+            WorkloadGen::new(cfg.clone(), pools())
+                .with_filters(vec!["/sunset/".into()])
+                .with_visual_terms(vec!["vt_0".into(), "vt_1".into()])
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..64 {
+            assert_eq!(a.next_request(), b.next_request());
+            assert_eq!(a.inter_arrival(), b.inter_arrival());
+        }
+        // a different seed reshuffles the stream
+        let mut c = WorkloadGen::new(WorkloadConfig { seed: 8, ..cfg }, pools())
+            .with_filters(vec!["/sunset/".into()])
+            .with_visual_terms(vec!["vt_0".into(), "vt_1".into()]);
+        let mut a = mk();
+        let same = (0..64).filter(|_| a.next_request() == c.next_request()).count();
+        assert!(same < 64, "seed change did not perturb the stream");
+    }
+
+    #[test]
+    fn stream_mixes_all_four_classes() {
+        let cfg = WorkloadConfig { requests: 256, ..Default::default() };
+        let mut g = WorkloadGen::new(cfg, pools())
+            .with_filters(vec!["/a/".into()])
+            .with_visual_terms(vec!["vt_0".into()]);
+        let (mut text, mut dual, mut filtered, mut feedback) = (0, 0, 0, 0);
+        for _ in 0..256 {
+            let r = g.next_request();
+            match (r.filter.is_some(), r.visual_terms.is_some(), r.channel) {
+                (true, _, _) => filtered += 1,
+                (_, true, _) => feedback += 1,
+                (_, _, crate::serve::Channel::Dual) => dual += 1,
+                _ => text += 1,
+            }
+        }
+        assert!(text > 0 && dual > 0 && filtered > 0 && feedback > 0);
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_offered_request() {
+        let cfg = WorkloadConfig {
+            qps: 5_000.0,
+            requests: 100,
+            slo_ms: 1_000.0,
+            mix: TrafficMix { text: 1.0, dual: 0.0, filtered: 0.0, feedback: 0.0 },
+            ..Default::default()
+        };
+        let server = MirrorServer::start(Arc::new(NullRetriever), 2);
+        let report = WorkloadGen::new(cfg, pools()).run(&server);
+        assert_eq!(report.offered, 100);
+        assert_eq!(report.completed + report.rejected + report.errors, 100);
+        assert_eq!(report.errors, 0);
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.slo_headroom <= 1.0);
+        assert!(!report.summary().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn overdriven_tiny_queue_sheds_and_reports() {
+        // a parked single worker with a depth-1 queue cannot keep up with
+        // a fast arrival clock: most offers must shed as Overloaded
+        struct SlowRetriever;
+        impl Retriever for SlowRetriever {
+            fn retrieve(&self, _req: &RetrievalRequest) -> RetrievalResult<Vec<RankedResult>> {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(Vec::new())
+            }
+            fn n_docs(&self) -> usize {
+                0
+            }
+        }
+        let cfg = WorkloadConfig {
+            qps: 10_000.0,
+            requests: 50,
+            mix: TrafficMix { text: 1.0, dual: 0.0, filtered: 0.0, feedback: 0.0 },
+            ..Default::default()
+        };
+        let server = MirrorServer::start_with_queue(Arc::new(SlowRetriever), 1, 1);
+        let report = WorkloadGen::new(cfg, pools()).run(&server);
+        assert!(report.rejected > 0, "expected load shedding, got {report:?}");
+        assert_eq!(report.completed + report.rejected + report.errors, 50);
+        server.shutdown();
+    }
+}

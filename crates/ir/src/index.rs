@@ -103,6 +103,13 @@ impl InvertedIndex {
         self.dict.lookup(term).map_or(0, |t| self.df[t as usize])
     }
 
+    /// Iterate `(term, document frequency)` over the whole dictionary, in
+    /// term-id order — the ingest-time feed for the logical layer's
+    /// statistics catalog.
+    pub fn term_dfs(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.dict.iter().map(move |(id, t)| (t, self.df[id as usize]))
+    }
+
     /// Collection frequency of a term (0 when absent).
     pub fn cf(&self, term: &str) -> u64 {
         self.dict.lookup(term).map_or(0, |t| self.cf[t as usize])

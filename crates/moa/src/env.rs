@@ -14,6 +14,7 @@
 //! | list order of `g`                      | `{coll}__{g}__pos`            |
 //! | extension field `c`                    | under prefix `{coll}__{c}`    |
 
+use crate::opt::StatsCatalog;
 use crate::structure::StructRegistry;
 #[cfg(test)]
 use crate::types::AtomicType;
@@ -46,6 +47,7 @@ pub struct Env {
     declared: RwLock<HashMap<String, MoaType>>,
     queries: RwLock<HashMap<String, Vec<(String, f64)>>>,
     raw: RwLock<HashMap<String, Arc<Vec<MoaVal>>>>,
+    stats: RwLock<Arc<StatsCatalog>>,
     /// Keep object-at-a-time copies of ingested rows for the naive
     /// interpreter (costs memory; disabled by default).
     pub keep_raw: bool,
@@ -62,8 +64,24 @@ impl Env {
             declared: RwLock::new(HashMap::new()),
             queries: RwLock::new(HashMap::new()),
             raw: RwLock::new(HashMap::new()),
+            stats: RwLock::new(Arc::new(StatsCatalog::new())),
             keep_raw: false,
         }
+    }
+
+    /// The current statistics catalog (an immutable snapshot; updated
+    /// atomically by ingest).
+    pub fn stats(&self) -> Arc<StatsCatalog> {
+        Arc::clone(&self.stats.read())
+    }
+
+    /// Update the statistics catalog: clone-modify-swap, so concurrent
+    /// queries keep reading a consistent snapshot.
+    pub fn update_stats(&self, f: impl FnOnce(&mut StatsCatalog)) {
+        let mut guard = self.stats.write();
+        let mut next = (**guard).clone();
+        f(&mut next);
+        *guard = Arc::new(next);
     }
 
     /// The physical catalog.
@@ -213,10 +231,32 @@ impl Env {
         );
         let meta = CollectionMeta { name: name.clone(), elem_ty, count: n };
         self.collections.write().insert(name.clone(), meta.clone());
+        self.collect_column_stats(&name);
         if self.keep_raw {
             self.raw.write().insert(name, Arc::new(rows));
         }
         Ok(meta)
+    }
+
+    /// Summarise every flattened BAT of a collection into the statistics
+    /// catalog (replacing any previous entries for the collection). Runs at
+    /// ingest so queries pay nothing; the summaries themselves are
+    /// stride-sampled and cheap even for million-row columns.
+    fn collect_column_stats(&self, coll: &str) {
+        let prefix = format!("{coll}__");
+        let summaries: Vec<(String, monet::ColSummary)> = self
+            .catalog
+            .names()
+            .into_iter()
+            .filter(|n| n.starts_with(&prefix))
+            .filter_map(|n| self.catalog.get(&n).ok().map(|b| (n, monet::summarize(&b))))
+            .collect();
+        self.update_stats(|stats| {
+            stats.drop_prefix(&prefix);
+            for (name, summary) in summaries {
+                stats.set_column(name, summary);
+            }
+        });
     }
 
     /// Flatten rows (each a `MoaVal::Tuple`) under `prefix`.

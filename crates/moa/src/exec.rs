@@ -2,9 +2,10 @@
 
 use crate::expr::Expr;
 use crate::flatten::{identity_plan, Compiler, Rep};
+use crate::opt::{PassCtx, Pipeline, PlanHints};
 use crate::params::QueryParams;
 use crate::parser::parse_expr;
-use crate::rewrite::{rewrite_logical, rewrite_physical, rewrite_topk, OptConfig};
+use crate::rewrite::{rewrite_logical, OptConfig};
 use crate::{Env, MoaError, Result};
 use monet::{ExecStats, Executor, Oid, Plan, Val};
 use std::sync::Arc;
@@ -58,17 +59,20 @@ pub struct MoaEngine {
     env: Arc<Env>,
     /// Optimiser configuration applied to every query.
     pub opt: OptConfig,
+    /// The registered optimizer pass pipeline ([`Pipeline::standard`] by
+    /// default); every query's physical plan runs through it.
+    pub pipeline: Pipeline,
 }
 
 impl MoaEngine {
     /// Create an engine over an environment.
     pub fn new(env: Arc<Env>) -> Self {
-        MoaEngine { env, opt: OptConfig::default() }
+        MoaEngine { env, opt: OptConfig::default(), pipeline: Pipeline::standard() }
     }
 
     /// Create an engine with explicit optimiser switches.
     pub fn with_opt(env: Arc<Env>, opt: OptConfig) -> Self {
-        MoaEngine { env, opt }
+        MoaEngine { env, opt, pipeline: Pipeline::standard() }
     }
 
     /// The underlying environment.
@@ -110,10 +114,8 @@ impl MoaEngine {
         expr: &Expr,
         params: &QueryParams,
     ) -> Result<(QueryOutput, ExecStats)> {
-        let (rep, plan) = self.compile_params(expr, params)?;
-        let mut exec = Executor::new(self.env.catalog(), self.env.ops());
-        exec.memoize = self.opt.memoize;
-        exec.degree = monet::fragment::resolve_degree(self.opt.parallelism);
+        let (rep, plan, hints) = self.compile_params(expr, params)?;
+        let exec = self.executor(hints);
         let (bat, stats) = exec.run(&plan).map_err(MoaError::from)?;
         let out = match rep {
             Rep::Rows { .. } => {
@@ -153,33 +155,79 @@ impl MoaEngine {
     }
 
     /// EXPLAIN with request-scoped parameters — shows the fused top-k plan
-    /// when a budget is set and the shape fuses.
+    /// when a budget is set and the shape fuses, plus which optimizer
+    /// passes changed the plan.
     pub fn explain_with(&self, src: &str, params: &QueryParams) -> Result<String> {
         let expr = parse_expr(src)?;
         let rewritten = rewrite_logical(&expr, &self.env, self.opt);
-        let (_, plan) = self.compile_rewritten(&rewritten, params)?;
-        Ok(format!("-- logical --\n{rewritten}\n-- physical --\n{}", plan.explain()))
+        let (_, plan, hints) = self.compile_rewritten(&rewritten, params)?;
+        let passes = if hints.passes_fired.is_empty() {
+            String::new()
+        } else {
+            format!("-- passes: {} --\n", hints.passes_fired.join(", "))
+        };
+        Ok(format!("-- logical --\n{rewritten}\n-- physical --\n{passes}{}", plan.explain()))
+    }
+
+    /// EXPLAIN ANALYZE with request-scoped parameters: compile, execute,
+    /// and render the physical plan with the optimizer's *estimated*
+    /// cardinality (`est≈N`) next to the *actual* rows each operator
+    /// produced — the estimated-vs-actual view of the statistics-driven
+    /// optimizer.
+    pub fn explain_analyze(&self, src: &str, params: &QueryParams) -> Result<String> {
+        let expr = parse_expr(src)?;
+        let rewritten = rewrite_logical(&expr, &self.env, self.opt);
+        let (_, plan, hints) = self.compile_rewritten(&rewritten, params)?;
+        let passes = if hints.passes_fired.is_empty() {
+            String::new()
+        } else {
+            format!("-- passes: {} --\n", hints.passes_fired.join(", "))
+        };
+        let exec = self.executor(hints);
+        let text = exec.explain(&plan).map_err(MoaError::from)?;
+        Ok(format!("-- logical --\n{rewritten}\n{passes}{text}"))
+    }
+
+    /// Build a kernel executor configured from the optimiser switches and a
+    /// compiled plan's hints (estimates and per-node degree caps).
+    fn executor(&self, hints: PlanHints) -> Executor<'_> {
+        let mut exec = Executor::new(self.env.catalog(), self.env.ops());
+        exec.memoize = self.opt.memoize;
+        exec.degree = monet::fragment::resolve_degree(self.opt.parallelism);
+        if self.opt.stats_driven {
+            if !hints.est_rows.is_empty() {
+                exec.est_rows = Some(Arc::new(hints.est_rows));
+            }
+            if !hints.degree_cap.is_empty() {
+                exec.degree_hints = Some(Arc::new(hints.degree_cap));
+            }
+        }
+        exec
     }
 
     /// Compile an AST to its final physical plan: logical rewrite, flatten
-    /// (with request bindings), physical rewrite, and — when a top-k budget
-    /// is set and the plan has the fusable ranking shape — top-k fusion.
-    fn compile_params(&self, expr: &Expr, params: &QueryParams) -> Result<(Rep, Plan)> {
+    /// (with request bindings), then the optimizer pass pipeline (peephole,
+    /// statistics-driven reordering/placement, top-k fusion).
+    fn compile_params(&self, expr: &Expr, params: &QueryParams) -> Result<(Rep, Plan, PlanHints)> {
         let rewritten = rewrite_logical(expr, &self.env, self.opt);
         self.compile_rewritten(&rewritten, params)
     }
 
     /// The post-logical-rewrite half of [`Self::compile_params`].
-    fn compile_rewritten(&self, rewritten: &Expr, params: &QueryParams) -> Result<(Rep, Plan)> {
+    fn compile_rewritten(
+        &self,
+        rewritten: &Expr,
+        params: &QueryParams,
+    ) -> Result<(Rep, Plan, PlanHints)> {
         let rep = Compiler::with_params(&self.env, params).compile(rewritten)?;
         let plan = self.rep_plan(&rep);
-        let mut plan = rewrite_physical(&plan, self.opt);
-        if let (Some(k), Rep::Vals { multi: false, .. }) = (params.top_k(), &rep) {
-            if let Some(fused) = rewrite_topk(&plan, k, self.env.ops()) {
-                plan = fused;
-            }
-        }
-        Ok((rep, plan))
+        let top_k = match (&rep, params.top_k()) {
+            (Rep::Vals { multi: false, .. }, Some(k)) => Some(k),
+            _ => None,
+        };
+        let ctx = PassCtx { cfg: self.opt, stats: self.env.stats(), ops: self.env.ops(), top_k };
+        let (plan, hints) = self.pipeline.optimize(&plan, &ctx);
+        Ok((rep, plan, hints))
     }
 
     fn rep_plan(&self, rep: &Rep) -> Plan {

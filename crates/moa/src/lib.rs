@@ -32,6 +32,7 @@ pub mod exec;
 pub mod expr;
 pub mod flatten;
 pub mod naive;
+pub mod opt;
 pub mod params;
 pub mod parser;
 pub mod rewrite;
@@ -43,6 +44,7 @@ pub use env::{Env, QueryBindingGuard};
 pub use exec::{MoaEngine, QueryOutput};
 pub use expr::{CmpOp, Expr};
 pub use flatten::Rep;
+pub use opt::{estimate, Pass, PassCtx, Pipeline, PlanHints, StatsCatalog};
 pub use params::QueryParams;
 pub use parser::{parse_define, parse_expr, parse_type};
 pub use rewrite::{rewrite_topk, OptConfig};

@@ -33,18 +33,35 @@ pub struct OptConfig {
     /// `0` = auto (one thread per available core), `1` = serial,
     /// `n` = exactly `n` threads per fragmented operator.
     pub parallelism: usize,
+    /// Run the statistics-driven passes of [`crate::opt`]: selection
+    /// ordering, semijoin placement (domain pushdown into belief
+    /// operators, enabling top-k fusion of filtered rankings), and
+    /// estimate-driven per-operator parallel-degree caps.
+    pub stats_driven: bool,
 }
 
 impl Default for OptConfig {
     fn default() -> Self {
-        OptConfig { pushdown: true, peephole: true, memoize: true, parallelism: 0 }
+        OptConfig {
+            pushdown: true,
+            peephole: true,
+            memoize: true,
+            parallelism: 0,
+            stats_driven: true,
+        }
     }
 }
 
 impl OptConfig {
     /// Everything off — the unoptimised, serial baseline for the ablation.
     pub fn none() -> Self {
-        OptConfig { pushdown: false, peephole: false, memoize: false, parallelism: 1 }
+        OptConfig {
+            pushdown: false,
+            peephole: false,
+            memoize: false,
+            parallelism: 1,
+            stats_driven: false,
+        }
     }
 }
 
@@ -237,8 +254,9 @@ pub fn rewrite_topk(plan: &Plan, k: usize, ops: &OpRegistry) -> Option<Plan> {
     Some(Plan::Custom { op: fused, inputs: inputs.clone(), params: fused_params })
 }
 
-/// Rebuild a plan node with its children transformed.
-fn map_children(plan: &Plan, f: &dyn Fn(&Plan) -> Plan) -> Plan {
+/// Rebuild a plan node with its children transformed (shared with the
+/// statistics-driven pass framework in [`crate::opt`]).
+pub(crate) fn map_children(plan: &Plan, f: &dyn Fn(&Plan) -> Plan) -> Plan {
     use Plan::*;
     match plan {
         Load(n) => Load(n.clone()),

@@ -70,7 +70,7 @@ pub use error::{MonetError, Result};
 pub use ext::{OpCtx, OpRegistry};
 pub use fragment::ParallelExecutor;
 pub use plan::{ArithOp, ExecStats, Executor, NodeTrace, Plan, Pred};
-pub use props::Props;
+pub use props::{summarize, ColSummary, Props};
 pub use storage::{
     BufferPool, DiskFs, FaultFs, FaultPlan, MemFs, RecoveryReport, StorageBackend, Store,
     StoreOptions,

@@ -367,7 +367,7 @@ impl Plan {
     }
 
     /// Direct children of this node.
-    fn children(&self) -> Vec<&Plan> {
+    pub fn children(&self) -> Vec<&Plan> {
         match self {
             Plan::Load(_) | Plan::Const(_) => vec![],
             Plan::Select { input, .. }
@@ -420,10 +420,11 @@ impl Plan {
         out.push_str(&label);
         if let Some(stats) = trace {
             if let Some(t) = stats.node_trace.get(&self.fingerprint()) {
+                let est = t.est_rows.map(|e| format!("est≈{e}, ")).unwrap_or_default();
                 if t.degree > 1 {
-                    let _ = write!(out, "  [rows={}, fragmented ×{}]", t.rows, t.degree);
+                    let _ = write!(out, "  [{est}rows={}, fragmented ×{}]", t.rows, t.degree);
                 } else {
-                    let _ = write!(out, "  [rows={}, serial]", t.rows);
+                    let _ = write!(out, "  [{est}rows={}, serial]", t.rows);
                 }
                 if let Some(note) = &t.note {
                     let _ = write!(out, "  {note}");
@@ -444,6 +445,10 @@ impl Plan {
 pub struct NodeTrace {
     /// Rows the operator produced.
     pub rows: u64,
+    /// Optimiser-estimated output rows, when the caller supplied
+    /// [`Executor::est_rows`] for this node — rendered by EXPLAIN as
+    /// `est≈N` next to the actual count.
+    pub est_rows: Option<u64>,
     /// Fragmentation degree the operator actually used (1 = serial).
     pub degree: usize,
     /// Operator-supplied note (custom operators only), rendered by
@@ -505,6 +510,15 @@ pub struct Executor<'a> {
     pub degree: usize,
     /// Inputs smaller than this stay serial regardless of `degree`.
     pub min_fragment_rows: usize,
+    /// Optimiser-estimated output cardinalities keyed by plan fingerprint
+    /// (supplied by the logical layer's statistics catalog). Recorded into
+    /// each [`NodeTrace`] so EXPLAIN shows estimated vs actual rows.
+    pub est_rows: Option<Arc<FxHashMap<u64, u64>>>,
+    /// Per-node parallel-degree caps keyed by plan fingerprint. A hint can
+    /// only *lower* the degree an operator fragments at (estimate-driven
+    /// "don't bother parallelising a tiny intermediate"), never raise it
+    /// above [`Executor::degree`].
+    pub degree_hints: Option<Arc<FxHashMap<u64, usize>>>,
 }
 
 impl<'a> Executor<'a> {
@@ -517,6 +531,8 @@ impl<'a> Executor<'a> {
             memoize: true,
             degree: 1,
             min_fragment_rows: crate::fragment::DEFAULT_MIN_FRAGMENT_ROWS,
+            est_rows: None,
+            degree_hints: None,
         }
     }
 
@@ -550,12 +566,19 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    /// The fragmentation degree an operator over `rows` input rows should
-    /// use: the configured degree when parallelism is on and the input is
-    /// big enough, 1 (serial) otherwise.
-    fn frag_degree(&self, rows: usize) -> usize {
-        if self.degree > 1 && rows >= self.min_fragment_rows.max(2) {
-            self.degree
+    /// The fragmentation degree the operator with fingerprint `fp` over
+    /// `rows` input rows should use: the configured degree — capped by any
+    /// per-node [`Executor::degree_hints`] entry — when parallelism is on
+    /// and the input is big enough, 1 (serial) otherwise.
+    fn frag_degree(&self, fp: u64, rows: usize) -> usize {
+        let mut degree = self.degree;
+        if let Some(hints) = &self.degree_hints {
+            if let Some(&cap) = hints.get(&fp) {
+                degree = degree.min(cap.max(1));
+            }
+        }
+        if degree > 1 && rows >= self.min_fragment_rows.max(2) {
+            degree
         } else {
             1
         }
@@ -587,7 +610,7 @@ impl<'a> Executor<'a> {
                 // sorted numeric tails binary-search in O(log n); scanning
                 // them in parallel fragments would only be slower
                 let scan_bound = b.props().tail_sorted && !matches!(b.tail(), Column::Str(_));
-                let d = self.frag_degree(b.count());
+                let d = self.frag_degree(fp, b.count());
                 if d > 1 && !scan_bound {
                     frag = d;
                     Arc::new(crate::fragment::par_select(&b, pred, d)?)
@@ -598,7 +621,7 @@ impl<'a> Executor<'a> {
             Plan::Join { left, right } => {
                 let l = self.eval(left, stats, memo)?;
                 let r = self.eval(right, stats, memo)?;
-                let d = self.frag_degree(l.count());
+                let d = self.frag_degree(fp, l.count());
                 if d > 1 {
                     frag = d;
                     Arc::new(crate::fragment::par_join(&l, &r, d)?)
@@ -623,7 +646,7 @@ impl<'a> Executor<'a> {
             }
             Plan::Aggr { input, agg } => {
                 let b = self.eval(input, stats, memo)?;
-                let d = self.frag_degree(b.count());
+                let d = self.frag_degree(fp, b.count());
                 let v = if d > 1 && *agg != Agg::Count {
                     frag = d;
                     crate::fragment::par_agg_tail(&b, *agg, d)?
@@ -635,7 +658,7 @@ impl<'a> Executor<'a> {
             Plan::GroupedAggr { values, groups, agg } => {
                 let v = self.eval(values, stats, memo)?;
                 let g = self.eval(groups, stats, memo)?;
-                let d = self.frag_degree(v.count());
+                let d = self.frag_degree(fp, v.count());
                 if d > 1 && matches!(agg, Agg::Sum | Agg::Count) {
                     frag = d;
                     Arc::new(crate::fragment::par_grouped_agg(&v, &g, *agg, d)?)
@@ -691,7 +714,10 @@ impl<'a> Executor<'a> {
         if frag > 1 {
             stats.fragmented_ops += 1;
         }
-        stats.node_trace.insert(fp, NodeTrace { rows: out.count() as u64, degree: frag, note });
+        let est_rows = self.est_rows.as_ref().and_then(|m| m.get(&fp).copied());
+        stats
+            .node_trace
+            .insert(fp, NodeTrace { rows: out.count() as u64, est_rows, degree: frag, note });
         if self.memoize {
             memo.insert(fp, Arc::clone(&out));
         }

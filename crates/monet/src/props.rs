@@ -6,6 +6,9 @@
 //! the same four bits. Properties are *conservative*: a cleared bit means
 //! "unknown", never "false and exploited".
 
+use crate::bat::Bat;
+use crate::fxhash::FxHashSet;
+
 /// Physical properties of a BAT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Props {
@@ -41,9 +44,75 @@ impl Props {
     }
 }
 
+/// Cap on the number of tail values sampled by [`summarize`]. Sampling is
+/// stride-based (deterministic), so summaries are reproducible across runs.
+pub const SUMMARY_SAMPLE_CAP: usize = 65_536;
+
+/// Ingest-time statistical summary of one BAT's tail column, consumed by the
+/// logical layer's cost estimator (selection ordering, semijoin placement,
+/// parallel-degree choice).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ColSummary {
+    /// Row count.
+    pub rows: u64,
+    /// Estimated number of distinct tail values. Conservative: when the
+    /// stride sample saturates (every sampled value distinct) the column is
+    /// assumed mostly unique; otherwise the sampled distinct count is used
+    /// as a lower bound.
+    pub ndv: u64,
+    /// Smallest sampled numeric tail value (`None` for string tails).
+    pub min: Option<f64>,
+    /// Largest sampled numeric tail value (`None` for string tails).
+    pub max: Option<f64>,
+    /// The BAT's physical property bits at summary time.
+    pub props: Props,
+}
+
+/// Summarise a BAT's tail for the statistics catalog: row count, estimated
+/// NDV, and numeric min/max, all from a deterministic stride sample of at
+/// most [`SUMMARY_SAMPLE_CAP`] values.
+pub fn summarize(bat: &Bat) -> ColSummary {
+    let n = bat.count();
+    let tail = bat.tail();
+    let stride = (n / SUMMARY_SAMPLE_CAP).max(1);
+    let mut distinct: FxHashSet<u64> = FxHashSet::default();
+    let mut sampled = 0u64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut numeric = true;
+    let mut i = 0usize;
+    while i < n {
+        if let Ok(v) = tail.get(i) {
+            distinct.insert(v.fingerprint());
+            match v.as_float() {
+                Some(x) => {
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                None => numeric = false,
+            }
+        }
+        sampled += 1;
+        i += stride;
+    }
+    let ndv = if sampled > 0 && distinct.len() as u64 == sampled {
+        n as u64 // sample saturated: treat as (near-)unique
+    } else {
+        distinct.len() as u64
+    };
+    ColSummary {
+        rows: n as u64,
+        ndv,
+        min: (numeric && sampled > 0).then_some(min),
+        max: (numeric && sampled > 0).then_some(max),
+        props: bat.props(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::Column;
 
     #[test]
     fn reversed_swaps_bits() {
@@ -59,5 +128,41 @@ mod tests {
         let p = Props::dense_head();
         assert!(p.head_sorted && p.head_key);
         assert!(!p.tail_sorted && !p.tail_key);
+    }
+
+    #[test]
+    fn summarize_small_numeric_column_is_exact() {
+        let b = Bat::dense(Column::Int(vec![3, 1, 3, 7]));
+        let s = summarize(&b);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.ndv, 3);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(7.0));
+    }
+
+    #[test]
+    fn summarize_unique_column_saturates_to_rows() {
+        let b = Bat::dense(Column::Int((0..100).collect()));
+        let s = summarize(&b);
+        assert_eq!(s.ndv, 100);
+    }
+
+    #[test]
+    fn summarize_string_column_has_no_bounds() {
+        let b = Bat::dense(Column::Str(crate::column::StrCol::from_strs(["a", "b", "a"])));
+        let s = summarize(&b);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.ndv, 2);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn summarize_empty_bat() {
+        let b = Bat::dense(Column::Int(vec![]));
+        let s = summarize(&b);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.ndv, 0);
+        assert_eq!(s.min, None);
     }
 }

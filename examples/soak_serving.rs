@@ -1,0 +1,110 @@
+//! Soak the serving tier: open-loop mixed traffic plus live writes.
+//!
+//! The WebRobot keeps feeding documents while users query — the paper's
+//! operating condition. This demo stands up a [`LiveMirror`] behind a
+//! bounded-queue [`MirrorServer`], drives it with the seeded open-loop
+//! workload generator (text / dual / filtered / feedback traffic at a
+//! fixed arrival rate, write batches interleaved), lets the merge policy
+//! auto-fold the delta, and prints whole-run p50/p99 with SLO headroom.
+//! Overload is exercised on purpose at the end: a second run at an
+//! arrival rate far beyond capacity must shed load with typed
+//! `Overloaded` rejections instead of melting down.
+//!
+//! ```sh
+//! cargo run --release --example soak_serving
+//! ```
+
+use mirror::core::serve::MirrorServer;
+use mirror::core::workload::{TrafficMix, WorkloadConfig, WorkloadGen};
+use mirror::core::{LiveMirror, MergePolicy, MirrorDbms};
+use mirror::media::{RobotConfig, WebRobot};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- batch-ingest a corpus; keep the tail as the live insert pool ----
+    let corpus = WebRobot::new(RobotConfig {
+        n_images: 48,
+        image_size: 24,
+        unannotated_fraction: 0.25,
+        seed: 17,
+    })
+    .crawl();
+    let mut db = MirrorDbms::with_defaults();
+    db.ingest(&corpus)?;
+    let rows = db.library_rows().to_vec();
+    let seed_rows = rows[..32].to_vec();
+    let insert_pool = rows[32..].to_vec();
+    let vocab = db.vocabulary().cloned();
+    let thes = db.thesaurus().cloned();
+    let visual_pool: Vec<String> = rows
+        .iter()
+        .find(|r| !r.vterms.is_empty())
+        .map(|r| r.vterms.split_whitespace().take(3).map(String::from).collect())
+        .unwrap_or_default();
+
+    let live = Arc::new(LiveMirror::new(MirrorDbms::from_rows(
+        db.config().clone(),
+        seed_rows,
+        vocab,
+        thes,
+    )?));
+    let server = MirrorServer::start_with_queue(Arc::clone(&live), 3, 256);
+
+    // ---- soak: mixed traffic at a sustainable arrival rate + writes ----
+    let cfg = WorkloadConfig {
+        seed: 29,
+        qps: 150.0,
+        requests: 300,
+        k: 10,
+        mix: TrafficMix::default(),
+        slo_ms: 50.0,
+        write_every: 25,
+        write_batch: 2,
+        ..Default::default()
+    };
+    let mut generator = WorkloadGen::new(
+        cfg,
+        ["sunset", "ocean", "forest", "city", "desert", "snow", "glow", "wave"]
+            .map(String::from)
+            .to_vec(),
+    )
+    .with_filters(vec!["/sunset/".into(), "/ocean/".into()])
+    .with_visual_terms(visual_pool);
+    let report = generator.run_with_writes(&server, &insert_pool);
+    println!("soak @ sustainable rate:\n  {}", report.summary());
+    println!("  {} live-write batches interleaved", report.writes);
+
+    // the merge policy folds the accumulated delta automatically
+    let policy = MergePolicy { max_delta_rows: 4, ..MergePolicy::default() };
+    let merged = live.maybe_merge(&policy)?;
+    let gens = live.generation_stats();
+    println!("  merge policy fired: {merged} (generation {}, {} alive)", gens.current, gens.alive);
+
+    // the soak gate: no server-side errors, every offer accounted for
+    assert_eq!(report.errors, 0, "soak saw server-side errors");
+    assert_eq!(report.offered, report.completed + report.rejected + report.errors);
+    assert!(report.writes > 0, "soak interleaved no writes");
+
+    // ---- overdrive: far beyond capacity, the queue must shed, not melt ----
+    let overdrive = Arc::new(MirrorServer::start_with_queue(Arc::clone(&live), 1, 8));
+    let mut hot = WorkloadGen::new(
+        WorkloadConfig {
+            seed: 31,
+            qps: 50_000.0,
+            requests: 400,
+            slo_ms: 50.0,
+            mix: TrafficMix { text: 1.0, dual: 0.0, filtered: 0.0, feedback: 0.0 },
+            ..Default::default()
+        },
+        ["sunset", "ocean", "forest"].map(String::from).to_vec(),
+    );
+    let hot_report = hot.run(&overdrive);
+    println!("overdrive @ 50k qps into a depth-8 queue:\n  {}", hot_report.summary());
+    assert_eq!(hot_report.errors, 0, "overload must shed, not error");
+    assert_eq!(hot_report.offered, hot_report.completed + hot_report.rejected);
+    println!(
+        "  admission control shed {} of {} offers as typed Overloaded",
+        hot_report.rejected, hot_report.offered
+    );
+    Ok(())
+}

@@ -18,7 +18,8 @@ use mirror::core::query::weighted_terms;
 use mirror::core::serve::{MirrorServer, RetrievalRequest};
 use mirror::core::{LibraryRow, RetrievalResult};
 use mirror::core::{
-    LiveCluster, LiveMirror, LiveReader, MirrorConfig, MirrorDbms, MutableCorpus, Retriever,
+    LiveCluster, LiveMirror, LiveReader, MergePolicy, MirrorConfig, MirrorDbms, MutableCorpus,
+    Retriever,
 };
 use mirror::media::{RobotConfig, WebRobot};
 use mirror::{cluster::VisualVocabulary, thesaurus::AssociationThesaurus};
@@ -574,6 +575,44 @@ fn live_types_are_send_and_sync() {
     assert_send_sync::<LiveMirror>();
     assert_send_sync::<LiveCluster>();
     assert_send_sync::<LiveReader>();
+}
+
+#[test]
+fn merge_policy_auto_triggers_and_preserves_rankings() {
+    let f = fixture();
+    let live = seed_live(f, 32);
+    let rows_policy =
+        MergePolicy { max_delta_rows: 8, max_delta_bytes: u64::MAX, max_tombstones: usize::MAX };
+    // below every threshold: the policy stays quiet
+    live.insert_rows(f.rows[32..36].to_vec()).unwrap();
+    assert!(!live.maybe_merge(&rows_policy).unwrap());
+    assert_eq!(live.generation_stats().current, 0);
+    // crossing the row threshold fires exactly one merge…
+    live.insert_rows(f.rows[36..44].to_vec()).unwrap();
+    let (rows, bytes, tombstones) = live.delta_pressure();
+    assert_eq!((rows, tombstones), (12, 0));
+    assert!(bytes > 0);
+    let before = probe(&live, f);
+    assert!(live.maybe_merge(&rows_policy).unwrap());
+    assert_eq!(live.generation_stats().current, 1);
+    // …with rankings bit-identical across the fold
+    assert_eq!(probe(&live, f), before);
+    // the folded delta leaves no pressure, so the policy is idle again
+    assert_eq!(live.delta_pressure(), (0, 0, 0));
+    assert!(!live.maybe_merge(&rows_policy).unwrap());
+    assert_eq!(live.generation_stats().current, 1);
+    // the tombstone threshold is an independent trigger
+    let tomb_policy =
+        MergePolicy { max_delta_rows: usize::MAX, max_delta_bytes: u64::MAX, max_tombstones: 2 };
+    live.delete(&f.rows[0].url).unwrap();
+    assert!(!live.maybe_merge(&tomb_policy).unwrap());
+    live.delete(&f.rows[1].url).unwrap();
+    let before = probe(&live, f);
+    assert!(live.maybe_merge(&tomb_policy).unwrap());
+    assert_eq!(live.generation_stats().current, 2);
+    assert_eq!(probe(&live, f), before);
+    // and the merged corpus still equals a batch re-ingest of survivors
+    assert_eq!(probe(&live, f), probe(&reference(f, live.pin().surviving_rows()), f));
 }
 
 #[test]

@@ -72,6 +72,50 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`]; the unsent message is
+    /// handed back in both variants.
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity right now.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+
+        /// True when the send failed because the channel was full (as
+        /// opposed to disconnected).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +192,25 @@ pub mod channel {
                         state = self.shared.not_full.wait(state).unwrap();
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send without blocking: fails with [`TrySendError::Full`] when a
+        /// bounded channel is at capacity instead of waiting for a slot —
+        /// the primitive admission control is built on.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             state.queue.push_back(msg);
@@ -360,6 +423,21 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn try_send_rejects_instead_of_blocking() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        let err = tx.try_send(4).unwrap_err();
+        assert!(!err.is_full());
+        assert_eq!(err.into_inner(), 4);
     }
 
     #[test]
